@@ -1,0 +1,87 @@
+//! Sparse architectural data memory.
+
+use std::collections::HashMap;
+
+use ses_isa::Program;
+use ses_types::Addr;
+
+/// Word-granular sparse data memory.
+///
+/// All data accesses in SES-64 are 8-byte loads and stores; addresses are
+/// rounded down to 8-byte alignment, mirroring a machine that simply ignores
+/// the low address bits. Uninitialised locations read as zero.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DataMemory {
+    words: HashMap<u64, u64>,
+}
+
+impl DataMemory {
+    /// Word size in bytes.
+    pub const WORD: u64 = 8;
+
+    /// An empty memory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A memory pre-loaded with a program's data segments.
+    pub fn from_program(program: &Program) -> Self {
+        let mut mem = Self::new();
+        for seg in program.data() {
+            for (i, &w) in seg.words.iter().enumerate() {
+                mem.store(seg.base.offset(i as u64 * Self::WORD), w);
+            }
+        }
+        mem
+    }
+
+    fn key(addr: Addr) -> u64 {
+        addr.block_base(Self::WORD).as_u64()
+    }
+
+    /// Loads the 64-bit word containing `addr`.
+    pub fn load(&self, addr: Addr) -> u64 {
+        self.words.get(&Self::key(addr)).copied().unwrap_or(0)
+    }
+
+    /// Stores a 64-bit word at the word containing `addr`.
+    pub fn store(&mut self, addr: Addr, value: u64) {
+        self.words.insert(Self::key(addr), value);
+    }
+
+    /// Number of distinct words ever written.
+    pub fn footprint_words(&self) -> usize {
+        self.words.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ses_isa::{DataSegment, Instruction};
+
+    #[test]
+    fn load_store_roundtrip_and_alignment() {
+        let mut m = DataMemory::new();
+        m.store(Addr::new(0x100), 7);
+        assert_eq!(m.load(Addr::new(0x100)), 7);
+        assert_eq!(m.load(Addr::new(0x103)), 7, "low bits ignored");
+        m.store(Addr::new(0x107), 8);
+        assert_eq!(m.load(Addr::new(0x100)), 8, "same word");
+        assert_eq!(m.load(Addr::new(0x108)), 0, "uninitialised reads zero");
+        assert_eq!(m.footprint_words(), 1);
+    }
+
+    #[test]
+    fn from_program_loads_segments() {
+        let p = Program::new(vec![Instruction::halt()]).with_data(DataSegment {
+            base: Addr::new(0x2000),
+            words: vec![10, 20, 30],
+        });
+        let m = DataMemory::from_program(&p);
+        assert_eq!(m.load(Addr::new(0x2000)), 10);
+        assert_eq!(m.load(Addr::new(0x2008)), 20);
+        assert_eq!(m.load(Addr::new(0x2010)), 30);
+        assert_eq!(m.footprint_words(), 3);
+    }
+}

@@ -1,0 +1,102 @@
+//! Architectural register state.
+
+use ses_types::{Addr, Pred, Reg};
+
+/// The architectural state of a SES-64 machine: 64 general registers
+/// (`r0` hardwired to zero), 8 predicate registers (`p0` hardwired true),
+/// and the program counter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArchState {
+    regs: [u64; Reg::COUNT],
+    preds: [bool; Pred::COUNT],
+    pc: Addr,
+}
+
+impl ArchState {
+    /// Fresh state: all registers zero, all predicates false (except the
+    /// hardwired `p0`), PC at `entry`.
+    pub fn new(entry: Addr) -> Self {
+        let mut preds = [false; Pred::COUNT];
+        preds[0] = true;
+        ArchState {
+            regs: [0; Reg::COUNT],
+            preds,
+            pc: entry,
+        }
+    }
+
+    /// Reads a general register; `r0` always reads zero.
+    pub fn reg(&self, r: Reg) -> u64 {
+        if r.is_zero() {
+            0
+        } else {
+            self.regs[r.index()]
+        }
+    }
+
+    /// Writes a general register; writes to `r0` are discarded.
+    pub fn set_reg(&mut self, r: Reg, value: u64) {
+        if !r.is_zero() {
+            self.regs[r.index()] = value;
+        }
+    }
+
+    /// Reads a predicate register; `p0` always reads true.
+    pub fn pred(&self, p: Pred) -> bool {
+        if p.is_always_true() {
+            true
+        } else {
+            self.preds[p.index()]
+        }
+    }
+
+    /// Writes a predicate register; writes to `p0` are discarded.
+    pub fn set_pred(&mut self, p: Pred, value: bool) {
+        if !p.is_always_true() {
+            self.preds[p.index()] = value;
+        }
+    }
+
+    /// The current program counter.
+    pub fn pc(&self) -> Addr {
+        self.pc
+    }
+
+    /// Sets the program counter.
+    pub fn set_pc(&mut self, pc: Addr) {
+        self.pc = pc;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn r0_is_hardwired_zero() {
+        let mut s = ArchState::new(Addr::new(0x1000));
+        s.set_reg(Reg::ZERO, 99);
+        assert_eq!(s.reg(Reg::ZERO), 0);
+        s.set_reg(Reg::new(5), 99);
+        assert_eq!(s.reg(Reg::new(5)), 99);
+    }
+
+    #[test]
+    fn p0_is_hardwired_true() {
+        let mut s = ArchState::new(Addr::new(0x1000));
+        assert!(s.pred(Pred::TRUE));
+        s.set_pred(Pred::TRUE, false);
+        assert!(s.pred(Pred::TRUE));
+        assert!(!s.pred(Pred::new(3)));
+        s.set_pred(Pred::new(3), true);
+        assert!(s.pred(Pred::new(3)));
+    }
+
+    #[test]
+    fn pc_tracks() {
+        let mut s = ArchState::new(Addr::new(0x1000));
+        assert_eq!(s.pc(), Addr::new(0x1000));
+        s.set_pc(Addr::new(0x1008));
+        assert_eq!(s.pc(), Addr::new(0x1008));
+    }
+}

@@ -1,0 +1,261 @@
+//! Dynamic execution traces.
+
+use ses_isa::{Instruction, Opcode, OpcodeClass};
+use ses_types::{Addr, Pred, Reg};
+
+/// One committed-path dynamic instruction, as recorded by the emulator.
+///
+/// The timing model replays these records in order; the dead-instruction
+/// analysis walks them backwards. Wrong-path instructions never appear here —
+/// they are synthesised by the front end from the static image.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DynInstr {
+    /// Position in the dynamic trace (0-based).
+    pub index: u64,
+    /// Fetch address.
+    pub pc: Addr,
+    /// The static instruction.
+    pub instr: Instruction,
+    /// Whether the qualifying predicate evaluated true. When false the
+    /// instruction is *falsely predicated*: it flows down the pipeline but
+    /// has no architectural effect.
+    pub executed: bool,
+    /// The general register actually written (guard true, op writes, and
+    /// destination is not `r0`).
+    pub reg_written: Option<Reg>,
+    /// The predicate register actually written.
+    pub pred_written: Option<Pred>,
+    /// Word-aligned data address read (executed loads only).
+    pub mem_read: Option<Addr>,
+    /// Word-aligned data address written (executed stores only).
+    pub mem_written: Option<Addr>,
+    /// For conditional branches: whether the branch was taken.
+    pub taken: Option<bool>,
+    /// Address of the next committed-path instruction.
+    pub next_pc: Addr,
+    /// Call nesting depth *at* this instruction (entry code is depth 0).
+    pub call_depth: u32,
+    /// Value emitted to the output stream (executed `out` only).
+    pub emitted: Option<u64>,
+}
+
+impl DynInstr {
+    /// The general registers this dynamic instance actually read (empty when
+    /// the guard was false).
+    pub fn regs_read(&self) -> impl Iterator<Item = Reg> + '_ {
+        self.executed
+            .then(|| self.instr.reads())
+            .into_iter()
+            .flatten()
+    }
+
+    /// Whether this is an executed store.
+    pub fn is_store(&self) -> bool {
+        self.mem_written.is_some()
+    }
+
+    /// Whether this dynamic instruction produced user-visible output.
+    pub fn is_output(&self) -> bool {
+        self.emitted.is_some()
+    }
+
+    /// Whether the instruction is a control transfer.
+    pub fn is_control(&self) -> bool {
+        self.instr.op.is_control()
+    }
+}
+
+/// Aggregate counts over an [`ExecutionTrace`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TraceStats {
+    /// Total dynamic instructions (including falsely predicated and
+    /// neutral ones).
+    pub total: u64,
+    /// Instructions whose guard evaluated false.
+    pub falsely_predicated: u64,
+    /// Neutral instructions (no-op / prefetch / hint).
+    pub neutral: u64,
+    /// Executed loads.
+    pub loads: u64,
+    /// Executed stores.
+    pub stores: u64,
+    /// Conditional branches.
+    pub cond_branches: u64,
+    /// Conditional branches that were taken.
+    pub taken_branches: u64,
+    /// Call instructions executed.
+    pub calls: u64,
+    /// Values emitted to the output stream.
+    pub outputs: u64,
+}
+
+impl TraceStats {
+    /// Fraction of conditional branches that were taken (0 when none).
+    pub fn taken_fraction(&self) -> f64 {
+        if self.cond_branches == 0 {
+            0.0
+        } else {
+            self.taken_branches as f64 / self.cond_branches as f64
+        }
+    }
+}
+
+/// The complete result of a functional run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecutionTrace {
+    entries: Vec<DynInstr>,
+    output: Vec<u64>,
+    stats: TraceStats,
+    halted: bool,
+}
+
+impl ExecutionTrace {
+    /// An empty trace, for tests of downstream consumers.
+    pub fn new_for_tests() -> Self {
+        Self::new(Vec::new(), Vec::new(), false)
+    }
+
+    pub(crate) fn new(entries: Vec<DynInstr>, output: Vec<u64>, halted: bool) -> Self {
+        let mut stats = TraceStats::default();
+        for e in &entries {
+            stats.total += 1;
+            if !e.executed {
+                stats.falsely_predicated += 1;
+            }
+            if e.instr.is_neutral() {
+                stats.neutral += 1;
+            }
+            if e.mem_read.is_some() {
+                stats.loads += 1;
+            }
+            if e.mem_written.is_some() {
+                stats.stores += 1;
+            }
+            if e.instr.op.is_conditional_branch() {
+                stats.cond_branches += 1;
+                if e.taken == Some(true) {
+                    stats.taken_branches += 1;
+                }
+            }
+            if e.instr.op == Opcode::Call && e.executed {
+                stats.calls += 1;
+            }
+            if e.is_output() {
+                stats.outputs += 1;
+            }
+        }
+        ExecutionTrace {
+            entries,
+            output,
+            stats,
+            halted,
+        }
+    }
+
+    /// The dynamic instructions, in commit order.
+    pub fn entries(&self) -> &[DynInstr] {
+        &self.entries
+    }
+
+    /// Number of dynamic instructions.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The program's output stream.
+    pub fn output(&self) -> &[u64] {
+        &self.output
+    }
+
+    /// Whether the program reached `halt` within its budget.
+    pub fn halted(&self) -> bool {
+        self.halted
+    }
+
+    /// Aggregate statistics.
+    pub fn stats(&self) -> TraceStats {
+        self.stats
+    }
+
+    /// Fraction of dynamic instructions in a given class, for workload
+    /// calibration.
+    pub fn class_fraction(&self, class: OpcodeClass) -> f64 {
+        if self.entries.is_empty() {
+            return 0.0;
+        }
+        let n = self
+            .entries
+            .iter()
+            .filter(|e| e.instr.op.class() == class)
+            .count();
+        n as f64 / self.entries.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ses_isa::Instruction;
+
+    fn dyn_nop(index: u64) -> DynInstr {
+        DynInstr {
+            index,
+            pc: Addr::new(0x1000 + index * 8),
+            instr: Instruction::nop(),
+            executed: true,
+            reg_written: None,
+            pred_written: None,
+            mem_read: None,
+            mem_written: None,
+            taken: None,
+            next_pc: Addr::new(0x1008 + index * 8),
+            call_depth: 0,
+            emitted: None,
+        }
+    }
+
+    #[test]
+    fn stats_count_classes() {
+        let mut e1 = dyn_nop(0);
+        e1.instr = Instruction::br(Pred::new(1), 8);
+        e1.taken = Some(true);
+        let mut e2 = dyn_nop(1);
+        e2.instr = Instruction::ld(Reg::new(1), Reg::new(2), 0);
+        e2.mem_read = Some(Addr::new(0x2000));
+        e2.reg_written = Some(Reg::new(1));
+        let e3 = dyn_nop(2);
+        let trace = ExecutionTrace::new(vec![e1, e2, e3], vec![], true);
+        let s = trace.stats();
+        assert_eq!(s.total, 3);
+        assert_eq!(s.cond_branches, 1);
+        assert_eq!(s.taken_branches, 1);
+        assert_eq!(s.loads, 1);
+        assert_eq!(s.neutral, 1);
+        assert!((s.taken_fraction() - 1.0).abs() < 1e-12);
+        assert!(trace.halted());
+        assert_eq!(trace.len(), 3);
+    }
+
+    #[test]
+    fn regs_read_respects_guard() {
+        let mut e = dyn_nop(0);
+        e.instr = Instruction::add(Reg::new(3), Reg::new(1), Reg::new(2));
+        e.executed = false;
+        assert_eq!(e.regs_read().count(), 0, "guard-false reads nothing");
+        e.executed = true;
+        assert_eq!(e.regs_read().count(), 2);
+    }
+
+    #[test]
+    fn empty_trace_fractions() {
+        let t = ExecutionTrace::new(vec![], vec![], false);
+        assert_eq!(t.class_fraction(OpcodeClass::Alu), 0.0);
+        assert!(t.is_empty());
+        assert_eq!(t.stats().taken_fraction(), 0.0);
+    }
+}

@@ -1,0 +1,351 @@
+//! Per-bit ACE classification of instruction-queue residency intervals.
+//!
+//! Every (bit × cycle) of queue state falls into exactly one bucket:
+//!
+//! * **idle** — the slot held no valid entry;
+//! * **unread** — the entry was valid but never read after this point
+//!   (never issued, or already past its last read: the Ex-ACE window);
+//!   strikes here are invisible to both program and parity;
+//! * **exposed** — the entry was valid and would still be read; strikes
+//!   here are *detected* by parity (DUE) and split into:
+//!   * **ACE** bits — a strike changes the program's outcome (true DUE,
+//!     or SDC without protection);
+//!   * **un-ACE** bits — a strike is harmless but still detected (false
+//!     DUE), subdivided by cause: wrong path, false predication, squash
+//!     discard, neutral instruction (non-opcode bits), and the four
+//!     dynamically-dead categories (non-destination-specifier bits).
+//!
+//! ACE rules follow the paper exactly: neutral instructions keep only
+//! their opcode bits ACE (§4.1); dynamically dead instructions keep only
+//! their destination-specifier bits ACE (§4.1); wrong-path, falsely
+//! predicated and squash-discarded instructions are wholly un-ACE; live
+//! committed instructions are wholly ACE (the paper's conservative
+//! granularity).
+
+use ses_isa::{bits_of_kind, BitKind, BIT_COUNT};
+use ses_pipeline::{Occupant, Residency, ResidencyEnd};
+
+use crate::dead::{DeadKind, DeadMap};
+
+/// Why exposed bit-cycles are un-ACE (the false-DUE causes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FalseDueCause {
+    /// Wrong-path instruction.
+    WrongPath,
+    /// Falsely predicated instruction.
+    FalselyPredicated,
+    /// Entry discarded by the squash action and refetched cleanly.
+    Squashed,
+    /// Non-opcode bits of a neutral instruction.
+    Neutral,
+    /// Non-destination bits of an FDD-via-register instruction.
+    DeadFddReg,
+    /// Non-destination bits of a TDD-via-register instruction.
+    DeadTddReg,
+    /// Non-destination bits of an FDD-via-memory instruction.
+    DeadFddMem,
+    /// Non-destination bits of a TDD-via-memory instruction.
+    DeadTddMem,
+}
+
+impl FalseDueCause {
+    /// All causes.
+    pub const ALL: [FalseDueCause; 8] = [
+        FalseDueCause::WrongPath,
+        FalseDueCause::FalselyPredicated,
+        FalseDueCause::Squashed,
+        FalseDueCause::Neutral,
+        FalseDueCause::DeadFddReg,
+        FalseDueCause::DeadTddReg,
+        FalseDueCause::DeadFddMem,
+        FalseDueCause::DeadTddMem,
+    ];
+}
+
+/// Bit-cycle contributions of one residency interval.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ResidencyBits {
+    /// ACE bit-cycles (exposed window).
+    pub ace: u64,
+    /// ACE bit-cycles attributed to each instruction-word field kind
+    /// (indexed by [`BitKind::ALL`] order): which *bits* of the queue
+    /// entry carry the vulnerability.
+    pub ace_by_kind: [u64; 7],
+    /// Un-ACE exposed bit-cycles, by cause (indexed by
+    /// [`FalseDueCause::ALL`] order).
+    pub unace: [u64; 8],
+    /// Valid-but-unread bit-cycles (Ex-ACE window plus never-read
+    /// residencies).
+    pub unread: u64,
+}
+
+impl ResidencyBits {
+    /// Total un-ACE exposed bit-cycles.
+    pub fn unace_total(&self) -> u64 {
+        self.unace.iter().sum()
+    }
+
+    /// Total valid bit-cycles accounted.
+    pub fn valid_total(&self) -> u64 {
+        self.ace + self.unace_total() + self.unread
+    }
+
+    /// Contribution for one cause.
+    pub fn cause(&self, cause: FalseDueCause) -> u64 {
+        let idx = FalseDueCause::ALL
+            .iter()
+            .position(|&c| c == cause)
+            .expect("cause in table");
+        self.unace[idx]
+    }
+
+    fn add_cause(&mut self, cause: FalseDueCause, amount: u64) {
+        let idx = FalseDueCause::ALL
+            .iter()
+            .position(|&c| c == cause)
+            .expect("cause in table");
+        self.unace[idx] += amount;
+    }
+}
+
+fn dest_spec_bits() -> u64 {
+    (bits_of_kind(BitKind::DestSpec).count() + bits_of_kind(BitKind::PredDestSpec).count()) as u64
+}
+
+fn opcode_bits() -> u64 {
+    bits_of_kind(BitKind::Opcode).count() as u64
+}
+
+fn kind_index(kind: BitKind) -> usize {
+    BitKind::ALL
+        .iter()
+        .position(|&k| k == kind)
+        .expect("kind in table")
+}
+
+fn kind_width(kind: BitKind) -> u64 {
+    bits_of_kind(kind).count() as u64
+}
+
+/// Classifies one residency into bit-cycle buckets.
+pub fn classify(res: &Residency, dead: &DeadMap) -> ResidencyBits {
+    let bits = BIT_COUNT as u64;
+    let exposed = res.exposed_cycles();
+    let unread_cycles = res.valid_cycles() - exposed;
+    let mut out = ResidencyBits {
+        unread: unread_cycles * bits,
+        ..Default::default()
+    };
+    if exposed == 0 {
+        return out;
+    }
+    let exposed_bits = exposed * bits;
+
+    match res.occupant {
+        Occupant::WrongPath => out.add_cause(FalseDueCause::WrongPath, exposed_bits),
+        Occupant::CorrectPath { trace_idx } => {
+            if res.end == ResidencyEnd::Squashed {
+                out.add_cause(FalseDueCause::Squashed, exposed_bits);
+            } else if res.falsely_predicated {
+                out.add_cause(FalseDueCause::FalselyPredicated, exposed_bits);
+            } else if res.instr.is_neutral() {
+                // Only the opcode bits can change the outcome (§4.1).
+                let ace = opcode_bits() * exposed;
+                out.ace += ace;
+                out.ace_by_kind[kind_index(BitKind::Opcode)] += ace;
+                out.add_cause(FalseDueCause::Neutral, exposed_bits - ace);
+            } else {
+                let kind = dead.get(trace_idx).kind;
+                match kind {
+                    DeadKind::Live => {
+                        out.ace += exposed_bits;
+                        for k in BitKind::ALL {
+                            out.ace_by_kind[kind_index(k)] += kind_width(k) * exposed;
+                        }
+                    }
+                    dead_kind => {
+                        // Only the destination specifiers stay ACE (§4.1).
+                        let ace = dest_spec_bits() * exposed;
+                        out.ace += ace;
+                        out.ace_by_kind[kind_index(BitKind::DestSpec)] +=
+                            kind_width(BitKind::DestSpec) * exposed;
+                        out.ace_by_kind[kind_index(BitKind::PredDestSpec)] +=
+                            kind_width(BitKind::PredDestSpec) * exposed;
+                        let cause = match dead_kind {
+                            DeadKind::FddReg => FalseDueCause::DeadFddReg,
+                            DeadKind::TddReg => FalseDueCause::DeadTddReg,
+                            DeadKind::FddMem => FalseDueCause::DeadFddMem,
+                            DeadKind::TddMem => FalseDueCause::DeadTddMem,
+                            DeadKind::Live => unreachable!(),
+                        };
+                        out.add_cause(cause, exposed_bits - ace);
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ses_arch::{Emulator, ExecutionTrace};
+    use ses_isa::{Instruction, Program};
+    use ses_pipeline::{Occupant, ResidencyEnd};
+    use ses_types::{Cycle, Reg, SeqNo};
+
+    fn residency(
+        occupant: Occupant,
+        instr: Instruction,
+        read: Option<u64>,
+        dealloc: u64,
+        end: ResidencyEnd,
+        fp: bool,
+    ) -> Residency {
+        Residency {
+            slot: 0,
+            seq: SeqNo::new(0),
+            occupant,
+            instr,
+            alloc: Cycle::new(0),
+            last_read: read.map(Cycle::new),
+            dealloc: Cycle::new(dealloc),
+            end,
+            falsely_predicated: fp,
+        }
+    }
+
+    fn trace_with(code: Vec<Instruction>) -> (ExecutionTrace, DeadMap) {
+        let p = Program::new(code);
+        let t = Emulator::new(&p).run(1000).unwrap();
+        let d = DeadMap::analyze(&t);
+        (t, d)
+    }
+
+    #[test]
+    fn live_instruction_fully_ace_while_exposed() {
+        let (_, dead) = trace_with(vec![
+            Instruction::movi(Reg::new(1), 5),
+            Instruction::out(Reg::new(1)),
+            Instruction::halt(),
+        ]);
+        let res = residency(
+            Occupant::CorrectPath { trace_idx: 0 },
+            Instruction::movi(Reg::new(1), 5),
+            Some(10),
+            15,
+            ResidencyEnd::Retired,
+            false,
+        );
+        let b = classify(&res, &dead);
+        assert_eq!(b.ace, 10 * 64);
+        assert_eq!(b.unace_total(), 0);
+        assert_eq!(b.unread, 5 * 64, "post-read Ex-ACE window");
+        assert_eq!(b.valid_total(), 15 * 64);
+    }
+
+    #[test]
+    fn wrong_path_fully_unace() {
+        let (_, dead) = trace_with(vec![Instruction::halt()]);
+        let res = residency(
+            Occupant::WrongPath,
+            Instruction::add(Reg::new(1), Reg::new(2), Reg::new(3)),
+            Some(4),
+            8,
+            ResidencyEnd::FlushedWrongPath,
+            false,
+        );
+        let b = classify(&res, &dead);
+        assert_eq!(b.ace, 0);
+        assert_eq!(b.cause(FalseDueCause::WrongPath), 4 * 64);
+        assert_eq!(b.unread, 4 * 64);
+    }
+
+    #[test]
+    fn never_read_contributes_nothing_exposed() {
+        let (_, dead) = trace_with(vec![Instruction::halt()]);
+        let res = residency(
+            Occupant::WrongPath,
+            Instruction::nop(),
+            None,
+            20,
+            ResidencyEnd::FlushedWrongPath,
+            false,
+        );
+        let b = classify(&res, &dead);
+        assert_eq!(b.ace + b.unace_total(), 0);
+        assert_eq!(b.unread, 20 * 64);
+    }
+
+    #[test]
+    fn neutral_keeps_opcode_bits_ace() {
+        let (_, dead) = trace_with(vec![Instruction::nop(), Instruction::halt()]);
+        let res = residency(
+            Occupant::CorrectPath { trace_idx: 0 },
+            Instruction::nop(),
+            Some(10),
+            10,
+            ResidencyEnd::Retired,
+            false,
+        );
+        let b = classify(&res, &dead);
+        assert_eq!(b.ace, 10 * 6, "6 opcode bits stay ACE");
+        assert_eq!(b.cause(FalseDueCause::Neutral), 10 * 58);
+    }
+
+    #[test]
+    fn dead_keeps_dest_spec_bits_ace() {
+        let (_, dead) = trace_with(vec![
+            Instruction::movi(Reg::new(1), 5), // FDD: never read
+            Instruction::halt(),
+        ]);
+        let res = residency(
+            Occupant::CorrectPath { trace_idx: 0 },
+            Instruction::movi(Reg::new(1), 5),
+            Some(10),
+            12,
+            ResidencyEnd::Retired,
+            false,
+        );
+        let b = classify(&res, &dead);
+        assert_eq!(b.ace, 10 * 9, "6 dest + 3 pdest specifier bits stay ACE");
+        assert_eq!(b.cause(FalseDueCause::DeadFddReg), 10 * 55);
+    }
+
+    #[test]
+    fn falsely_predicated_fully_unace() {
+        let (_, dead) = trace_with(vec![Instruction::halt()]);
+        let res = residency(
+            Occupant::CorrectPath { trace_idx: 0 },
+            Instruction::add(Reg::new(1), Reg::new(2), Reg::new(3)),
+            Some(3),
+            5,
+            ResidencyEnd::Retired,
+            true,
+        );
+        let b = classify(&res, &dead);
+        assert_eq!(b.cause(FalseDueCause::FalselyPredicated), 3 * 64);
+        assert_eq!(b.ace, 0);
+    }
+
+    #[test]
+    fn squashed_takes_precedence() {
+        let (_, dead) = trace_with(vec![
+            Instruction::movi(Reg::new(1), 5),
+            Instruction::out(Reg::new(1)),
+            Instruction::halt(),
+        ]);
+        let res = residency(
+            Occupant::CorrectPath { trace_idx: 0 },
+            Instruction::movi(Reg::new(1), 5),
+            Some(4),
+            6,
+            ResidencyEnd::Squashed,
+            false,
+        );
+        let b = classify(&res, &dead);
+        assert_eq!(b.cause(FalseDueCause::Squashed), 4 * 64);
+        assert_eq!(b.ace, 0, "squashed content never commits");
+    }
+}

@@ -1,0 +1,139 @@
+//! Criterion micro-benchmarks of the substrate components: cache lookups,
+//! instruction encode/decode, functional emulation, the timing engine, the
+//! dead-instruction analysis, and PET-buffer pushes.
+//!
+//! Run with `cargo bench -p ses-bench --bench micro`.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use ses_arch::Emulator;
+use ses_avf::DeadMap;
+use ses_core::{run_workload, PipelineConfig, WorkloadSpec};
+use ses_isa::{decode, encode, Instruction};
+use ses_mem::{AccessKind, Hierarchy, HierarchyConfig};
+use ses_pipeline::{PetBuffer, PetEntry, Pipeline};
+use ses_types::{Addr, Reg};
+
+fn bench_isa(c: &mut Criterion) {
+    let instr = Instruction::add(Reg::new(3), Reg::new(1), Reg::new(2));
+    c.bench_function("isa/encode", |b| b.iter(|| encode(std::hint::black_box(&instr))));
+    let word = encode(&instr);
+    c.bench_function("isa/decode", |b| b.iter(|| decode(std::hint::black_box(word))));
+}
+
+fn bench_cache(c: &mut Criterion) {
+    c.bench_function("mem/hierarchy_access_hit", |b| {
+        let mut h = Hierarchy::new(HierarchyConfig::default());
+        h.access(Addr::new(0x1000), AccessKind::Load);
+        b.iter(|| h.access(Addr::new(0x1000), AccessKind::Load))
+    });
+    c.bench_function("mem/hierarchy_access_stream", |b| {
+        let mut h = Hierarchy::new(HierarchyConfig::default());
+        let mut a = 0u64;
+        b.iter(|| {
+            a = a.wrapping_add(64);
+            h.access(Addr::new(a & 0xFF_FFFF), AccessKind::Load)
+        })
+    });
+}
+
+fn bench_emulator(c: &mut Criterion) {
+    let spec = WorkloadSpec::quick("bench-emu", 3);
+    let program = ses_core::synthesize(&spec);
+    c.bench_function("arch/emulate_20k_instrs", |b| {
+        b.iter(|| Emulator::new(&program).run(100_000).unwrap())
+    });
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let spec = WorkloadSpec::quick("bench-pipe", 4);
+    let program = ses_core::synthesize(&spec);
+    let trace = Emulator::new(&program).run(100_000).unwrap();
+    let pipe = Pipeline::new(PipelineConfig::default());
+    c.bench_function("pipeline/run_20k_instrs", |b| {
+        b.iter(|| pipe.run(&program, &trace))
+    });
+}
+
+fn bench_analysis(c: &mut Criterion) {
+    let spec = WorkloadSpec::quick("bench-avf", 5);
+    let program = ses_core::synthesize(&spec);
+    let trace = Emulator::new(&program).run(100_000).unwrap();
+    c.bench_function("avf/dead_map_20k_instrs", |b| {
+        b.iter(|| DeadMap::analyze(&trace))
+    });
+    c.bench_function("core/run_workload_quick", |b| {
+        b.iter(|| run_workload(&spec, &PipelineConfig::default()).unwrap())
+    });
+}
+
+fn bench_new_components(c: &mut Criterion) {
+    // Assembler throughput.
+    let source: String = (0..200)
+        .map(|i| format!("addi r{} = r{}, {}\n", (i % 32) + 1, (i % 32) + 1, i))
+        .collect::<String>()
+        + "halt\n";
+    c.bench_function("isa/assemble_200_lines", |b| {
+        b.iter(|| ses_isa::assemble(std::hint::black_box(&source)).unwrap())
+    });
+
+    // Streaming emulation.
+    let spec = WorkloadSpec::quick("bench-step", 6);
+    let program = ses_core::synthesize(&spec);
+    c.bench_function("arch/stepper_20k_instrs", |b| {
+        b.iter(|| {
+            let mut s = ses_arch::Stepper::new(&program);
+            let mut n = 0u64;
+            while s.step().unwrap().is_some() {
+                n += 1;
+            }
+            n
+        })
+    });
+
+    // Register-file AVF analysis.
+    let trace = Emulator::new(&program).run(100_000).unwrap();
+    let dead = DeadMap::analyze(&trace);
+    c.bench_function("avf/regfile_20k_instrs", |b| {
+        b.iter(|| ses_avf::RegFileAvf::analyze(&trace, &dead))
+    });
+
+    // Kernel end-to-end.
+    c.bench_function("workloads/kernel_bitcount_end_to_end", |b| {
+        b.iter(|| {
+            let k = ses_workloads::bitcount();
+            Emulator::new(&k.program).run(5_000_000).unwrap()
+        })
+    });
+}
+
+fn bench_pet(c: &mut Criterion) {
+    c.bench_function("pipeline/pet_push_512", |b| {
+        b.iter_batched(
+            || PetBuffer::new(512),
+            |mut pet| {
+                for i in 0..2048u64 {
+                    pet.push(PetEntry {
+                        trace_idx: i,
+                        dest: Some(Reg::new((i % 32) as u8)),
+                        reads: [Some(Reg::new(((i + 1) % 32) as u8)), None],
+                        pi: false,
+                    });
+                }
+                pet
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_isa,
+    bench_cache,
+    bench_emulator,
+    bench_pipeline,
+    bench_analysis,
+    bench_new_components,
+    bench_pet
+);
+criterion_main!(benches);

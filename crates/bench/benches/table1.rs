@@ -1,0 +1,102 @@
+//! Regenerates **Table 1**: impact of squashing on IPC and the instruction
+//! queue's SDC and DUE AVFs, averaged across all benchmarks.
+//!
+//! Paper values (Itanium®2-like machine, SPEC CPU2000):
+//!
+//! | Design point             | IPC  | SDC AVF | DUE AVF | IPC/SDC | IPC/DUE |
+//! |--------------------------|------|---------|---------|---------|---------|
+//! | No squashing             | 1.21 | 29 %    | 62 %    | 4.1     | 2.0     |
+//! | Squash on L1 load misses | 1.19 | 22 %    | 51 %    | 5.6     | 2.3     |
+//! | Squash on L0 load misses | 1.09 | 19 %    | 48 %    | 5.7     | 2.3     |
+//!
+//! Run with `cargo bench -p ses-bench --bench table1`.
+
+use ses_core::{mean, run_suite, Level, PipelineConfig, Table};
+
+struct PaperRow {
+    name: &'static str,
+    ipc: f64,
+    sdc: f64,
+    due: f64,
+}
+
+const PAPER: [PaperRow; 3] = [
+    PaperRow { name: "No squashing", ipc: 1.21, sdc: 29.0, due: 62.0 },
+    PaperRow { name: "Squash on L1 load misses", ipc: 1.19, sdc: 22.0, due: 51.0 },
+    PaperRow { name: "Squash on L0 load misses", ipc: 1.09, sdc: 19.0, due: 48.0 },
+];
+
+fn main() {
+    let configs = [
+        PipelineConfig::default(),
+        PipelineConfig::default().with_squash(Level::L1),
+        PipelineConfig::default().with_squash(Level::L0),
+    ];
+
+    let mut table = Table::new(vec![
+        "Design point",
+        "IPC",
+        "SDC AVF",
+        "DUE AVF",
+        "IPC/SDC AVF",
+        "IPC/DUE AVF",
+        "paper IPC",
+        "paper SDC",
+        "paper DUE",
+    ]);
+
+    let mut measured = Vec::new();
+    for (cfg, paper) in configs.iter().zip(&PAPER) {
+        let rows = run_suite(cfg).expect("suite run");
+        let ipc = mean(rows.iter().map(|r| r.ipc.value()));
+        let sdc = mean(rows.iter().map(|r| r.sdc_avf.percent()));
+        let due = mean(rows.iter().map(|r| r.due_avf.percent()));
+        table.row(vec![
+            paper.name.into(),
+            format!("{ipc:.2}"),
+            format!("{sdc:.1}%"),
+            format!("{due:.1}%"),
+            format!("{:.1}", ipc / (sdc / 100.0)),
+            format!("{:.1}", ipc / (due / 100.0)),
+            format!("{:.2}", paper.ipc),
+            format!("{:.0}%", paper.sdc),
+            format!("{:.0}%", paper.due),
+        ]);
+        measured.push((ipc, sdc, due));
+    }
+
+    println!("\n=== Table 1: impact of squashing (measured vs paper) ===\n");
+    println!("{table}");
+
+    let (ipc0, sdc0, due0) = measured[0];
+    let (ipc1, sdc1, due1) = measured[1];
+    let (ipc2, sdc2, due2) = measured[2];
+    println!("Shape checks (paper in parentheses):");
+    println!(
+        "  squash-L1: IPC {:+.1}% (-1.7%), SDC AVF {:+.1}% (-26%), DUE AVF {:+.1}% (-18%)",
+        (ipc1 / ipc0 - 1.0) * 100.0,
+        (sdc1 / sdc0 - 1.0) * 100.0,
+        (due1 / due0 - 1.0) * 100.0,
+    );
+    println!(
+        "  squash-L0: IPC {:+.1}% (-10%),  SDC AVF {:+.1}% (-35%), DUE AVF {:+.1}% (-23%)",
+        (ipc2 / ipc0 - 1.0) * 100.0,
+        (sdc2 / sdc0 - 1.0) * 100.0,
+        (due2 / due0 - 1.0) * 100.0,
+    );
+    let mitf1 = (ipc1 / sdc1) / (ipc0 / sdc0) - 1.0;
+    let mitf2 = (ipc2 / sdc2) / (ipc0 / sdc0) - 1.0;
+    println!(
+        "  SDC MITF gain: L1 {:+.0}% (paper +37%), L0 {:+.0}% (paper +39%)",
+        mitf1 * 100.0,
+        mitf2 * 100.0
+    );
+    let dmitf1 = (ipc1 / due1) / (ipc0 / due0) - 1.0;
+    println!("  DUE MITF gain: L1 {:+.0}% (paper +15%)", dmitf1 * 100.0);
+
+    assert!(ipc1 < ipc0 && ipc2 < ipc1, "IPC must fall with aggressiveness");
+    assert!(sdc1 < sdc0 && sdc2 < sdc1, "SDC AVF must fall");
+    assert!(due1 < due0 && due2 < due1, "DUE AVF must fall");
+    assert!(mitf1 > 0.0, "squash-L1 must raise SDC MITF");
+    println!("\nAll Table-1 shape assertions hold.");
+}

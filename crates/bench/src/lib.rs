@@ -1,0 +1,1 @@
+//! Criterion micro-benchmarks and table/figure regeneration harness live in `benches/`.

@@ -1,0 +1,52 @@
+//! Public facade of the soft-error-rate reproduction suite.
+//!
+//! This crate ties the substrates together into the workflow a user
+//! actually wants:
+//!
+//! 1. pick a workload (one of the 26 suite entries, or a custom
+//!    [`WorkloadSpec`]);
+//! 2. pick a machine configuration ([`PipelineConfig`], optionally with
+//!    the paper's squash/throttle exposure-reduction actions);
+//! 3. [`run_workload`] → a [`WorkloadRun`] bundling the functional trace,
+//!    dead-instruction map, timing result and AVF analysis;
+//! 4. summarise ([`WorkloadRun::summary`]) or sweep the whole suite
+//!    ([`run_suite`] / [`for_each_workload`]).
+//!
+//! # Example
+//!
+//! ```
+//! use ses_core::{run_workload, PipelineConfig, WorkloadSpec};
+//!
+//! let spec = WorkloadSpec::quick("hello", 1);
+//! let run = run_workload(&spec, &PipelineConfig::default())?;
+//! let s = run.summary();
+//! assert!(s.due_avf.fraction() >= s.sdc_avf.fraction());
+//! # Ok::<(), ses_types::SesError>(())
+//! ```
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+mod compare;
+mod run;
+mod suite_runner;
+
+pub use compare::{compare_suites, Comparison};
+pub use run::{run_workload, BenchSummary, TechniqueCoverage, WorkloadRun};
+pub use suite_runner::{for_each_workload, run_suite};
+
+// Re-export the vocabulary a downstream user needs, so `ses-core` is a
+// one-stop dependency.
+pub use ses_avf::{
+    AvfAnalysis, DeadKind, DeadMap, FalseDueCause, KindAvf, RegFileAvf, StateFractions,
+    Technique, TimelinePoint,
+};
+pub use ses_faults::{Campaign, CampaignConfig, CampaignReport, DetailedReport, Outcome};
+pub use ses_mem::Level;
+pub use ses_metrics::{geomean, mean, RatePoint, ReliabilityModel, Table};
+pub use ses_pipeline::{
+    DetectionModel, IssueOrder, PiScope, Pipeline, PipelineConfig, PipelineResult,
+    PredictorKind, SquashPolicy, ThrottlePolicy, TrackingConfig,
+};
+pub use ses_types::{Avf, Cycle, Fit, Ipc, Mitf, Mttf, SesError};
+pub use ses_workloads::{spec_by_name, suite, synthesize, Category, TraceMix, WorkloadSpec};

@@ -1,0 +1,478 @@
+//! Campaign orchestration: random strikes, timing-model replay, functional
+//! outcome classification.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use ses_arch::{Emulator, ExecutionTrace, RunOutcome};
+use ses_isa::Program;
+use ses_isa::{bit_kind, BitKind};
+use ses_pipeline::{
+    DetectionModel, FaultOutcome, FaultSpec, Occupant, Pipeline, PipelineConfig, SuppressReason,
+};
+use ses_types::{Cycle, SesError};
+use ses_workloads::{synthesize, WorkloadSpec};
+
+use crate::outcome::Outcome;
+use crate::report::CampaignReport;
+
+/// Configuration of a fault-injection campaign.
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// Number of single-bit faults to inject.
+    pub injections: u32,
+    /// Seed for strike-coordinate sampling.
+    pub seed: u64,
+    /// Detection model under test.
+    pub detection: DetectionModel,
+    /// Inject adjacent double-bit faults instead of single-bit ones
+    /// (models one particle upsetting two neighbouring cells, the paper's
+    /// §2 multi-bit caveat; physical interleaving defends against it).
+    pub double_bit: bool,
+    /// With `double_bit`, land the second strike this many cycles after
+    /// the first (two independent particles accumulating in one entry —
+    /// the failure mode periodic scrubbing defends against). `0` keeps the
+    /// strikes simultaneous.
+    pub temporal_gap: u64,
+    /// Timing-model configuration.
+    pub pipeline: PipelineConfig,
+    /// Worker threads (0 = one per available core).
+    pub threads: usize,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig {
+            injections: 1000,
+            seed: 0xFAu64,
+            detection: DetectionModel::None,
+            double_bit: false,
+            temporal_gap: 0,
+            pipeline: PipelineConfig::default(),
+            threads: 0,
+        }
+    }
+}
+
+/// A prepared fault-injection campaign over one workload.
+pub struct Campaign {
+    program: Program,
+    golden: ExecutionTrace,
+    baseline_cycles: u64,
+    config: CampaignConfig,
+}
+
+impl Campaign {
+    /// Synthesises the workload, produces the golden trace, and measures
+    /// the fault-free cycle count (the strike-cycle sampling range).
+    ///
+    /// # Errors
+    ///
+    /// Propagates functional-emulation failures of the golden run.
+    pub fn prepare(spec: &WorkloadSpec, config: CampaignConfig) -> Result<Self, SesError> {
+        let program = synthesize(spec);
+        let golden = Emulator::new(&program).run(spec.target_dynamic * 4)?;
+        if !golden.halted() {
+            return Err(SesError::BudgetExceeded {
+                resource: "instructions",
+                limit: spec.target_dynamic * 4,
+            });
+        }
+        let baseline = Pipeline::new(config.pipeline.clone()).run(&program, &golden);
+        Ok(Campaign {
+            program,
+            golden,
+            baseline_cycles: baseline.cycles,
+            config,
+        })
+    }
+
+    /// The golden (fault-free) trace.
+    pub fn golden(&self) -> &ExecutionTrace {
+        &self.golden
+    }
+
+    /// Fault-free cycle count of the timing run.
+    pub fn baseline_cycles(&self) -> u64 {
+        self.baseline_cycles
+    }
+
+    /// Runs the campaign, parallelised across worker threads.
+    pub fn run(&self) -> CampaignReport {
+        let n = self.config.injections;
+        let threads = if self.config.threads == 0 {
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1)
+        } else {
+            self.config.threads
+        };
+        let next = AtomicU32::new(0);
+        let mut outcomes: Vec<Vec<Outcome>> = Vec::new();
+        crossbeam::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for _ in 0..threads.min(n as usize).max(1) {
+                let next = &next;
+                handles.push(scope.spawn(move |_| {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        local.push(self.inject_one(i));
+                    }
+                    local
+                }));
+            }
+            for h in handles {
+                outcomes.push(h.join().expect("injection worker panicked"));
+            }
+        })
+        .expect("campaign scope");
+        CampaignReport::from_outcomes(outcomes.into_iter().flatten())
+    }
+
+    /// Runs the campaign recording each fault's coordinates alongside its
+    /// outcome, for positional analyses (which bits and which queue slots
+    /// carry the vulnerability).
+    pub fn run_detailed(&self) -> DetailedReport {
+        let mut samples = Vec::with_capacity(self.config.injections as usize);
+        for i in 0..self.config.injections {
+            let fault = self.fault_for(i);
+            samples.push((fault, self.inject_one(i)));
+        }
+        DetailedReport { samples }
+    }
+
+    /// The deterministic fault coordinates for injection `i`.
+    pub fn fault_for(&self, i: u32) -> FaultSpec {
+        let mut rng = StdRng::seed_from_u64(self.config.seed ^ (i as u64).wrapping_mul(0x9E37));
+        let cycle = Cycle::new(rng.gen_range(0..self.baseline_cycles.max(1)));
+        let slot = rng.gen_range(0..self.config.pipeline.iq_entries);
+        let bit = rng.gen_range(0..64);
+        if self.config.double_bit {
+            FaultSpec::adjacent_double(cycle, slot, bit)
+        } else {
+            FaultSpec::single(cycle, slot, bit)
+        }
+    }
+
+    /// Injects the `i`-th fault (deterministic in `seed` and `i`).
+    pub fn inject_one(&self, i: u32) -> Outcome {
+        let fault = self.fault_for(i);
+        let result = Pipeline::new(self.config.pipeline.clone()).run_with_fault(
+            &self.program,
+            &self.golden,
+            Some(fault),
+            self.config.detection,
+        );
+        let outcome = result.fault.expect("fault run resolves an outcome");
+        self.classify(outcome)
+    }
+
+    fn classify(&self, outcome: FaultOutcome) -> Outcome {
+        match outcome {
+            FaultOutcome::SlotIdle | FaultOutcome::NeverRead { .. } => Outcome::Benign,
+            FaultOutcome::CorruptIssued { corruption } => match corruption.occupant {
+                Occupant::WrongPath => Outcome::Benign,
+                Occupant::CorrectPath { trace_idx } => {
+                    match self.replay(trace_idx, corruption.corrupted_word) {
+                        Replay::Identical => Outcome::Benign,
+                        Replay::Different | Replay::Crashed => Outcome::Sdc,
+                        Replay::Hang => Outcome::Hang,
+                    }
+                }
+            },
+            FaultOutcome::Signalled { corruption, .. } => match corruption.occupant {
+                // A wrong-path corruption can never affect output.
+                Occupant::WrongPath => Outcome::FalseDue,
+                Occupant::CorrectPath { trace_idx } => {
+                    match self.replay(trace_idx, corruption.corrupted_word) {
+                        Replay::Identical => Outcome::FalseDue,
+                        Replay::Different | Replay::Crashed | Replay::Hang => Outcome::TrueDue,
+                    }
+                }
+            },
+            FaultOutcome::Suppressed { reason, corruption } => match (reason, corruption.occupant)
+            {
+                // Discarded before commit: architecturally clean.
+                (SuppressReason::WrongPath, _) | (SuppressReason::Squashed, _) => {
+                    Outcome::SuppressedSafe
+                }
+                (_, Occupant::WrongPath) => Outcome::SuppressedSafe,
+                (_, Occupant::CorrectPath { trace_idx }) => {
+                    match self.replay(trace_idx, corruption.corrupted_word) {
+                        Replay::Identical => Outcome::SuppressedSafe,
+                        Replay::Different | Replay::Crashed | Replay::Hang => {
+                            Outcome::SuppressedSdc
+                        }
+                    }
+                }
+            },
+        }
+    }
+
+    /// Re-runs the functional emulator with the corrupted word substituted
+    /// at the given dynamic position and compares outputs.
+    fn replay(&self, trace_idx: u64, corrupted_word: u64) -> Replay {
+        let mut overrides = HashMap::new();
+        overrides.insert(trace_idx, corrupted_word);
+        let budget = (self.golden.len() as u64).saturating_mul(4).max(10_000);
+        match Emulator::new(&self.program).run_with_overrides(&overrides, budget) {
+            RunOutcome::Completed { output } => {
+                if output == self.golden.output() {
+                    Replay::Identical
+                } else {
+                    Replay::Different
+                }
+            }
+            RunOutcome::Crashed { .. } => Replay::Crashed,
+            RunOutcome::TimedOut => Replay::Hang,
+        }
+    }
+}
+
+enum Replay {
+    Identical,
+    Different,
+    Crashed,
+    Hang,
+}
+
+/// Campaign results with per-sample fault coordinates.
+#[derive(Debug, Clone)]
+pub struct DetailedReport {
+    samples: Vec<(FaultSpec, Outcome)>,
+}
+
+impl DetailedReport {
+    /// All `(fault, outcome)` samples.
+    pub fn samples(&self) -> &[(FaultSpec, Outcome)] {
+        &self.samples
+    }
+
+    /// Collapses into a plain [`CampaignReport`].
+    pub fn summary(&self) -> CampaignReport {
+        CampaignReport::from_outcomes(self.samples.iter().map(|(_, o)| *o))
+    }
+
+    /// Empirical failure probability per instruction-word field kind: for
+    /// each [`BitKind`], the fraction of strikes on bits of that kind that
+    /// produced a failure ([`Outcome::is_failure`]). Under
+    /// [`DetectionModel::None`] this is the statistical counterpart of
+    /// `AvfAnalysis::avf_by_bit_kind`.
+    pub fn failure_rate_by_bit_kind(&self) -> Vec<(BitKind, f64, u32)> {
+        BitKind::ALL
+            .iter()
+            .map(|&kind| {
+                let mut total = 0u32;
+                let mut failures = 0u32;
+                for (f, o) in &self.samples {
+                    if bit_kind(f.bit as usize) == kind {
+                        total += 1;
+                        if o.is_failure() {
+                            failures += 1;
+                        }
+                    }
+                }
+                let rate = if total == 0 {
+                    0.0
+                } else {
+                    failures as f64 / total as f64
+                };
+                (kind, rate, total)
+            })
+            .collect()
+    }
+
+    /// Empirical failure probability by queue-slot quarter (0 = slots
+    /// 0–15, … for a 64-entry queue): do low slots (filled first) carry
+    /// more risk?
+    pub fn failure_rate_by_slot_quarter(&self, iq_entries: usize) -> [f64; 4] {
+        let mut totals = [0u32; 4];
+        let mut fails = [0u32; 4];
+        let quarter = (iq_entries / 4).max(1);
+        for (f, o) in &self.samples {
+            let q = (f.slot / quarter).min(3);
+            totals[q] += 1;
+            if o.is_failure() {
+                fails[q] += 1;
+            }
+        }
+        let mut out = [0.0; 4];
+        for q in 0..4 {
+            if totals[q] > 0 {
+                out[q] = fails[q] as f64 / totals[q] as f64;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ses_pipeline::{PiScope, TrackingConfig};
+
+    fn quick_campaign(detection: DetectionModel, injections: u32) -> CampaignReport {
+        let spec = WorkloadSpec::quick("campaign-test", 21);
+        let config = CampaignConfig {
+            injections,
+            seed: 99,
+            detection,
+            threads: 2,
+            ..CampaignConfig::default()
+        };
+        Campaign::prepare(&spec, config).unwrap().run()
+    }
+
+    #[test]
+    fn unprotected_campaign_yields_benign_and_sdc_only() {
+        let report = quick_campaign(DetectionModel::None, 60);
+        assert_eq!(report.total(), 60);
+        assert_eq!(report.count(Outcome::FalseDue), 0, "nothing to detect");
+        assert_eq!(report.count(Outcome::TrueDue), 0);
+        assert!(report.count(Outcome::Benign) > 0);
+    }
+
+    #[test]
+    fn parity_campaign_yields_due_not_sdc() {
+        let report = quick_campaign(DetectionModel::Parity { tracking: None }, 60);
+        assert_eq!(
+            report.count(Outcome::Sdc),
+            0,
+            "parity converts SDC into DUE"
+        );
+        assert!(
+            report.count(Outcome::FalseDue) + report.count(Outcome::TrueDue) > 0,
+            "some strikes must be detected"
+        );
+    }
+
+    #[test]
+    fn tracking_campaign_suppresses_some_errors() {
+        let tracking = TrackingConfig {
+            scope: PiScope::StoreCommit,
+            anti_pi: true,
+            pet_entries: None,
+            mem_granule: 8,
+        };
+        let with = quick_campaign(
+            DetectionModel::Parity {
+                tracking: Some(tracking),
+            },
+            80,
+        );
+        let without = quick_campaign(DetectionModel::Parity { tracking: None }, 80);
+        let due_with = with.count(Outcome::FalseDue) + with.count(Outcome::TrueDue);
+        let due_without = without.count(Outcome::FalseDue) + without.count(Outcome::TrueDue);
+        assert!(
+            due_with < due_without,
+            "tracking must reduce DUE events: {due_with} vs {due_without}"
+        );
+        assert!(with.count(Outcome::SuppressedSafe) > 0);
+    }
+
+    #[test]
+    fn double_bit_faults_defeat_single_parity_but_not_interleaving() {
+        let spec = WorkloadSpec::quick("multibit", 31);
+        let run = |detection, double_bit| {
+            Campaign::prepare(
+                &spec,
+                CampaignConfig {
+                    injections: 80,
+                    seed: 5,
+                    detection,
+                    double_bit,
+                    threads: 2,
+                    ..CampaignConfig::default()
+                },
+            )
+            .unwrap()
+            .run()
+        };
+        // Single-bit faults: parity converts everything detected to DUE.
+        let single = run(DetectionModel::Parity { tracking: None }, false);
+        assert_eq!(single.count(Outcome::Sdc), 0);
+        // Adjacent double-bit faults: plain parity is blind to them, so
+        // silent corruption reappears...
+        let double = run(DetectionModel::Parity { tracking: None }, true);
+        assert!(
+            double.count(Outcome::Sdc) > 0,
+            "even flips must escape one parity bit"
+        );
+        assert_eq!(
+            double.count(Outcome::FalseDue) + double.count(Outcome::TrueDue),
+            0
+        );
+        // ...and two interleaved parity domains catch them again (the
+        // paper's physical-interleaving defence).
+        let interleaved = run(
+            DetectionModel::InterleavedParity {
+                domains: 2,
+                tracking: None,
+            },
+            true,
+        );
+        assert_eq!(interleaved.count(Outcome::Sdc), 0);
+        assert!(
+            interleaved.count(Outcome::FalseDue) + interleaved.count(Outcome::TrueDue) > 0
+        );
+    }
+
+    #[test]
+    fn scrubbing_restores_fail_stop_under_temporal_doubles() {
+        let spec = WorkloadSpec::quick("scrub", 77);
+        let run = |scrub_period: u64| {
+            let mut pipeline = PipelineConfig::default();
+            pipeline.scrub_period = scrub_period;
+            Campaign::prepare(
+                &spec,
+                CampaignConfig {
+                    injections: 80,
+                    seed: 9,
+                    detection: DetectionModel::Parity { tracking: None },
+                    double_bit: true,
+                    temporal_gap: 30,
+                    threads: 2,
+                    pipeline,
+                    ..CampaignConfig::default()
+                },
+            )
+            .unwrap()
+            .run()
+        };
+        let unscrubbed = run(0);
+        let scrubbed = run(8);
+        // Without scrubbing some accumulated doubles slip through parity;
+        // with an 8-cycle scrub the window is too small.
+        assert!(
+            scrubbed.count(Outcome::Sdc) + scrubbed.count(Outcome::Hang)
+                <= unscrubbed.count(Outcome::Sdc) + unscrubbed.count(Outcome::Hang),
+            "scrubbing must not increase silent corruption"
+        );
+        assert!(
+            scrubbed.due_avf_estimate() >= unscrubbed.due_avf_estimate(),
+            "scrubbing converts escapes into detected errors"
+        );
+    }
+
+    #[test]
+    fn campaign_is_deterministic() {
+        let spec = WorkloadSpec::quick("det-test", 5);
+        let config = CampaignConfig {
+            injections: 10,
+            seed: 7,
+            detection: DetectionModel::None,
+            threads: 1,
+            ..CampaignConfig::default()
+        };
+        let c = Campaign::prepare(&spec, config).unwrap();
+        let a: Vec<Outcome> = (0..10).map(|i| c.inject_one(i)).collect();
+        let b: Vec<Outcome> = (0..10).map(|i| c.inject_one(i)).collect();
+        assert_eq!(a, b);
+    }
+}

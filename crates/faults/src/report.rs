@@ -1,0 +1,139 @@
+//! Campaign result aggregation and statistical AVF estimation.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::outcome::Outcome;
+
+/// Aggregated results of a fault-injection campaign.
+#[derive(Debug, Clone, Default)]
+pub struct CampaignReport {
+    counts: HashMap<Outcome, u32>,
+    total: u32,
+}
+
+impl CampaignReport {
+    /// Builds a report from raw outcomes.
+    pub fn from_outcomes(outcomes: impl IntoIterator<Item = Outcome>) -> Self {
+        let mut r = CampaignReport::default();
+        for o in outcomes {
+            *r.counts.entry(o).or_insert(0) += 1;
+            r.total += 1;
+        }
+        r
+    }
+
+    /// Number of injections.
+    pub fn total(&self) -> u32 {
+        self.total
+    }
+
+    /// Injections with the given outcome.
+    pub fn count(&self, outcome: Outcome) -> u32 {
+        self.counts.get(&outcome).copied().unwrap_or(0)
+    }
+
+    /// Fraction of injections with the given outcome (0 when empty).
+    pub fn fraction(&self, outcome: Outcome) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.count(outcome) as f64 / self.total as f64
+        }
+    }
+
+    /// Statistical SDC-AVF estimate (meaningful for unprotected
+    /// campaigns): fraction of strikes producing SDC or hang.
+    pub fn sdc_avf_estimate(&self) -> f64 {
+        self.fraction(Outcome::Sdc) + self.fraction(Outcome::Hang)
+    }
+
+    /// Statistical DUE-AVF estimate (meaningful for parity campaigns):
+    /// fraction of strikes raising a machine check.
+    pub fn due_avf_estimate(&self) -> f64 {
+        self.fraction(Outcome::FalseDue) + self.fraction(Outcome::TrueDue)
+    }
+
+    /// Half-width of the 95 % normal-approximation confidence interval for
+    /// an estimated proportion `p` at this sample size.
+    pub fn ci95(&self, p: f64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        1.96 * (p * (1.0 - p) / self.total as f64).sqrt()
+    }
+
+    /// Merges another report into this one.
+    pub fn merge(&mut self, other: &CampaignReport) {
+        for (o, c) in &other.counts {
+            *self.counts.entry(*o).or_insert(0) += c;
+        }
+        self.total += other.total;
+    }
+}
+
+impl fmt::Display for CampaignReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{} injections:", self.total)?;
+        for o in Outcome::ALL {
+            let c = self.count(o);
+            if c > 0 {
+                writeln!(f, "  {:<18} {:>6}  ({:.1}%)", o.label(), c, self.fraction(o) * 100.0)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counting_and_fractions() {
+        let r = CampaignReport::from_outcomes([
+            Outcome::Benign,
+            Outcome::Benign,
+            Outcome::Sdc,
+            Outcome::FalseDue,
+        ]);
+        assert_eq!(r.total(), 4);
+        assert_eq!(r.count(Outcome::Benign), 2);
+        assert!((r.fraction(Outcome::Sdc) - 0.25).abs() < 1e-12);
+        assert!((r.sdc_avf_estimate() - 0.25).abs() < 1e-12);
+        assert!((r.due_avf_estimate() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_report_is_safe() {
+        let r = CampaignReport::default();
+        assert_eq!(r.total(), 0);
+        assert_eq!(r.fraction(Outcome::Sdc), 0.0);
+        assert_eq!(r.ci95(0.5), 0.0);
+    }
+
+    #[test]
+    fn ci_shrinks_with_samples() {
+        let small = CampaignReport::from_outcomes(vec![Outcome::Benign; 100]);
+        let large = CampaignReport::from_outcomes(vec![Outcome::Benign; 10_000]);
+        assert!(large.ci95(0.3) < small.ci95(0.3));
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = CampaignReport::from_outcomes([Outcome::Sdc]);
+        let b = CampaignReport::from_outcomes([Outcome::Sdc, Outcome::Benign]);
+        a.merge(&b);
+        assert_eq!(a.total(), 3);
+        assert_eq!(a.count(Outcome::Sdc), 2);
+    }
+
+    #[test]
+    fn display_lists_nonzero_outcomes() {
+        let r = CampaignReport::from_outcomes([Outcome::Sdc, Outcome::Benign]);
+        let s = r.to_string();
+        assert!(s.contains("SDC"));
+        assert!(s.contains("benign"));
+        assert!(!s.contains("hang"));
+    }
+}

@@ -1,0 +1,191 @@
+//! Binary encoding of SES-64 instructions.
+//!
+//! Layout of the 64-bit instruction word (LSB first):
+//!
+//! ```text
+//! bits  0..6    opcode      (6 bits)
+//! bits  6..9    qp          (3 bits)  qualifying predicate
+//! bits  9..15   dest        (6 bits)  destination register specifier
+//! bits 15..21   src1        (6 bits)
+//! bits 21..27   src2        (6 bits)
+//! bits 27..30   pdest       (3 bits)  destination predicate specifier
+//! bits 30..62   imm         (32 bits, two's complement)
+//! bits 62..64   reserved    (must be zero)
+//! ```
+//!
+//! The layout is shared with [`crate::fields`], which exposes it as a
+//! per-bit classification for the AVF analysis and the fault injector.
+
+use ses_types::{Pred, Reg, SesError};
+
+use crate::instr::Instruction;
+use crate::opcode::Opcode;
+
+/// Size of one encoded instruction in bytes.
+pub const INSTR_BYTES: u64 = 8;
+
+pub(crate) const OPCODE_LO: u32 = 0;
+pub(crate) const OPCODE_BITS: u32 = 6;
+pub(crate) const QP_LO: u32 = 6;
+pub(crate) const QP_BITS: u32 = 3;
+pub(crate) const DEST_LO: u32 = 9;
+pub(crate) const DEST_BITS: u32 = 6;
+pub(crate) const SRC1_LO: u32 = 15;
+pub(crate) const SRC1_BITS: u32 = 6;
+pub(crate) const SRC2_LO: u32 = 21;
+pub(crate) const SRC2_BITS: u32 = 6;
+pub(crate) const PDEST_LO: u32 = 27;
+pub(crate) const PDEST_BITS: u32 = 3;
+pub(crate) const IMM_LO: u32 = 30;
+pub(crate) const IMM_BITS: u32 = 32;
+pub(crate) const RESERVED_LO: u32 = 62;
+pub(crate) const RESERVED_BITS: u32 = 2;
+
+fn put(word: &mut u64, lo: u32, bits: u32, value: u64) {
+    debug_assert!(value < (1u64 << bits), "field value out of range");
+    *word |= value << lo;
+}
+
+fn get(word: u64, lo: u32, bits: u32) -> u64 {
+    (word >> lo) & ((1u64 << bits) - 1)
+}
+
+/// Encodes an instruction into its canonical 64-bit word.
+///
+/// Fields the opcode does not use are encoded as the instruction carries
+/// them (normally zero from the named constructors), so
+/// `decode(encode(i)) == i` for any constructed instruction.
+pub fn encode(instr: &Instruction) -> u64 {
+    let mut w = 0u64;
+    put(&mut w, OPCODE_LO, OPCODE_BITS, instr.op.code() as u64);
+    put(&mut w, QP_LO, QP_BITS, instr.qp.index() as u64);
+    put(&mut w, DEST_LO, DEST_BITS, instr.dest.index() as u64);
+    put(&mut w, SRC1_LO, SRC1_BITS, instr.src1.index() as u64);
+    put(&mut w, SRC2_LO, SRC2_BITS, instr.src2.index() as u64);
+    put(&mut w, PDEST_LO, PDEST_BITS, instr.pdest.index() as u64);
+    put(&mut w, IMM_LO, IMM_BITS, instr.imm as u32 as u64);
+    w
+}
+
+/// Decodes a 64-bit word back into an instruction.
+///
+/// # Errors
+///
+/// Returns [`SesError::Decode`] if the opcode field does not name a valid
+/// opcode or the reserved bits are non-zero. This is exactly the situation a
+/// particle strike on the opcode bits of a queue entry can produce; the
+/// fault injector relies on decode failures being detected, not panicking.
+pub fn decode(word: u64) -> Result<Instruction, SesError> {
+    if get(word, RESERVED_LO, RESERVED_BITS) != 0 {
+        return Err(SesError::Decode {
+            word,
+            reason: "reserved bits set".into(),
+        });
+    }
+    let code = get(word, OPCODE_LO, OPCODE_BITS) as u8;
+    let op = Opcode::from_code(code).ok_or_else(|| SesError::Decode {
+        word,
+        reason: format!("unknown opcode {code}"),
+    })?;
+    Ok(Instruction {
+        op,
+        qp: Pred::new(get(word, QP_LO, QP_BITS) as u8),
+        dest: Reg::new(get(word, DEST_LO, DEST_BITS) as u8),
+        src1: Reg::new(get(word, SRC1_LO, SRC1_BITS) as u8),
+        src2: Reg::new(get(word, SRC2_LO, SRC2_BITS) as u8),
+        pdest: Pred::new(get(word, PDEST_LO, PDEST_BITS) as u8),
+        imm: get(word, IMM_LO, IMM_BITS) as u32 as i32,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_instruction() -> impl Strategy<Value = Instruction> {
+        (
+            0usize..Opcode::ALL.len(),
+            0u8..8,
+            0u8..64,
+            0u8..64,
+            0u8..64,
+            0u8..8,
+            any::<i32>(),
+        )
+            .prop_map(|(op, qp, d, s1, s2, pd, imm)| Instruction {
+                op: Opcode::ALL[op],
+                qp: Pred::new(qp),
+                dest: Reg::new(d),
+                src1: Reg::new(s1),
+                src2: Reg::new(s2),
+                pdest: Pred::new(pd),
+                imm,
+            })
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip_any_instruction(instr in arb_instruction()) {
+            let word = encode(&instr);
+            prop_assert_eq!(decode(word).unwrap(), instr);
+        }
+
+        #[test]
+        fn reserved_bits_always_zero(instr in arb_instruction()) {
+            let word = encode(&instr);
+            prop_assert_eq!(word >> 62, 0);
+        }
+
+        #[test]
+        fn single_bit_flip_never_panics(instr in arb_instruction(), bit in 0u32..64) {
+            // A strike anywhere in the word must decode cleanly or produce
+            // a detected decode error -- never a panic.
+            let word = encode(&instr) ^ (1u64 << bit);
+            let _ = decode(word);
+        }
+    }
+
+    #[test]
+    fn decode_rejects_unknown_opcode() {
+        // Opcode field = 63 is unassigned.
+        let err = decode(63).unwrap_err();
+        assert!(err.to_string().contains("unknown opcode"));
+    }
+
+    #[test]
+    fn decode_rejects_reserved_bits() {
+        let word = encode(&Instruction::nop()) | (1u64 << 62);
+        let err = decode(word).unwrap_err();
+        assert!(err.to_string().contains("reserved"));
+    }
+
+    #[test]
+    fn negative_immediate_roundtrips() {
+        let i = Instruction::addi(Reg::new(1), Reg::new(2), -12345);
+        assert_eq!(decode(encode(&i)).unwrap().imm, -12345);
+        let j = Instruction::movi(Reg::new(1), i32::MIN);
+        assert_eq!(decode(encode(&j)).unwrap().imm, i32::MIN);
+    }
+
+    #[test]
+    fn fields_do_not_overlap() {
+        let spans = [
+            (OPCODE_LO, OPCODE_BITS),
+            (QP_LO, QP_BITS),
+            (DEST_LO, DEST_BITS),
+            (SRC1_LO, SRC1_BITS),
+            (SRC2_LO, SRC2_BITS),
+            (PDEST_LO, PDEST_BITS),
+            (IMM_LO, IMM_BITS),
+            (RESERVED_LO, RESERVED_BITS),
+        ];
+        let mut covered = 0u64;
+        for (lo, bits) in spans {
+            let mask = ((1u64 << bits) - 1) << lo;
+            assert_eq!(covered & mask, 0, "field overlap at bit {lo}");
+            covered |= mask;
+        }
+        assert_eq!(covered, u64::MAX, "fields must cover all 64 bits");
+    }
+}

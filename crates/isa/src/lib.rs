@@ -1,0 +1,46 @@
+//! The SES-64 instruction set.
+//!
+//! SES-64 is a small, fully specified, IA-64-flavoured ISA built for this
+//! reproduction: in-order machines, full predication (every instruction
+//! carries a qualifying predicate), explicit no-ops / prefetches / branch
+//! hints (the paper's *neutral* instruction types), and an explicit `out`
+//! instruction that represents committing data to an I/O device — the point
+//! where a π bit finally goes out of scope in the paper's design (4) of
+//! §4.3.3.
+//!
+//! Every instruction encodes to exactly one 64-bit word ([`encode`]); the
+//! per-bit field map ([`bit_kind`]) tells the AVF analysis and the fault
+//! injector what each of the 64 bits means, so that ACE rules like "a strike
+//! on any bit of a dynamically dead instruction *except the destination
+//! register specifier bits* will not change the final outcome" (§4.1) can be
+//! applied per bit.
+//!
+//! # Example
+//!
+//! ```
+//! use ses_isa::{decode, encode, Instruction};
+//! use ses_types::{Pred, Reg};
+//!
+//! let add = Instruction::add(Reg::new(3), Reg::new(1), Reg::new(2));
+//! let word = encode(&add);
+//! assert_eq!(decode(word)?, add);
+//! assert_eq!(add.to_string(), "(p0) add r3 = r1, r2");
+//! # Ok::<(), ses_types::SesError>(())
+//! ```
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+mod asm;
+mod encode;
+mod fields;
+mod instr;
+mod opcode;
+mod program;
+
+pub use asm::{assemble, disassemble};
+pub use encode::{decode, encode, INSTR_BYTES};
+pub use fields::{bit_kind, bits_of_kind, field_mask, BitKind, BIT_COUNT};
+pub use instr::Instruction;
+pub use opcode::{Opcode, OpcodeClass};
+pub use program::{static_target, DataSegment, Label, Program, ProgramBuilder};

@@ -1,0 +1,35 @@
+//! Set-associative cache hierarchy for the timing model.
+//!
+//! The geometry defaults match the machine the paper models (§5): an 8 KB
+//! L0 with 2-cycle hits, a 256 KB L1 with 10-cycle hits, and a 10 MB L2
+//! with 25-cycle hits. A load that misses L0 and hits L1 therefore sees the
+//! paper's "L0 cache miss, whose latency is 10 cycles"; one that misses L1
+//! and hits L2 sees the "L1 cache miss, whose latency is about 25 cycles".
+//! These two events are exactly the squash *triggers* of §3.1.
+//!
+//! The hierarchy also supports per-block π bits ([`PiDirectory`]) so the
+//! paper's design (4) of §4.3.3 — π bits on caches and memory, with errors
+//! signalled only at I/O — can be modelled end to end.
+//!
+//! # Example
+//!
+//! ```
+//! use ses_mem::{AccessKind, Hierarchy, HierarchyConfig};
+//! use ses_types::Addr;
+//!
+//! let mut h = Hierarchy::new(HierarchyConfig::default());
+//! let first = h.access(Addr::new(0x4000), AccessKind::Load);
+//! let second = h.access(Addr::new(0x4000), AccessKind::Load);
+//! assert!(second.latency < first.latency, "second access hits closer");
+//! ```
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+mod cache;
+mod hierarchy;
+mod pi;
+
+pub use cache::{Cache, CacheConfig, LookupOutcome};
+pub use hierarchy::{AccessKind, AccessResult, Hierarchy, HierarchyConfig, Level, LevelStats};
+pub use pi::PiDirectory;

@@ -1,0 +1,129 @@
+//! π-bit directory for memory structures.
+//!
+//! The paper attaches a π bit to each cache block (and optionally to main
+//! memory) so that a possibly-incorrect value written by a store can be
+//! tracked until it is either overwritten (the error was false) or consumed
+//! by an I/O access (the error must be signalled). Because the timing model
+//! does not carry data values through the caches, the π state is modelled
+//! as an address-keyed directory at a configurable granularity.
+
+use std::collections::HashSet;
+
+use ses_types::Addr;
+
+/// Tracks which memory granules are marked *possibly incorrect*.
+///
+/// # Example
+///
+/// ```
+/// use ses_mem::PiDirectory;
+/// use ses_types::Addr;
+///
+/// let mut dir = PiDirectory::new(64);
+/// dir.mark(Addr::new(0x1234));
+/// assert!(dir.is_marked(Addr::new(0x1200)), "same 64-byte block");
+/// assert!(dir.clear(Addr::new(0x1210)));
+/// assert!(!dir.is_marked(Addr::new(0x1234)));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct PiDirectory {
+    granule: u64,
+    marked: HashSet<u64>,
+}
+
+impl PiDirectory {
+    /// Creates a directory tracking π at `granule_bytes` granularity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `granule_bytes` is not a power of two.
+    pub fn new(granule_bytes: u64) -> Self {
+        assert!(
+            granule_bytes.is_power_of_two(),
+            "π granule must be a power of two"
+        );
+        PiDirectory {
+            granule: granule_bytes,
+            marked: HashSet::new(),
+        }
+    }
+
+    fn key(&self, addr: Addr) -> u64 {
+        addr.block_base(self.granule).as_u64()
+    }
+
+    /// Sets the π bit for the granule containing `addr`.
+    pub fn mark(&mut self, addr: Addr) {
+        let key = self.key(addr);
+        self.marked.insert(key);
+    }
+
+    /// Clears the π bit for the granule containing `addr` (an overwrite by
+    /// a known-good store). Returns whether a bit was cleared.
+    pub fn clear(&mut self, addr: Addr) -> bool {
+        let key = self.key(addr);
+        self.marked.remove(&key)
+    }
+
+    /// Whether the granule containing `addr` is marked possibly incorrect.
+    pub fn is_marked(&self, addr: Addr) -> bool {
+        self.marked.contains(&self.key(addr))
+    }
+
+    /// Number of granules currently marked.
+    pub fn marked_count(&self) -> usize {
+        self.marked.len()
+    }
+
+    /// The configured granularity in bytes.
+    pub fn granule_bytes(&self) -> u64 {
+        self.granule
+    }
+
+    /// Clears every π bit (e.g. at experiment reset).
+    pub fn reset(&mut self) {
+        self.marked.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mark_clear_roundtrip() {
+        let mut d = PiDirectory::new(8);
+        assert!(!d.is_marked(Addr::new(0x100)));
+        d.mark(Addr::new(0x100));
+        assert!(d.is_marked(Addr::new(0x107)), "same word");
+        assert!(!d.is_marked(Addr::new(0x108)), "next word");
+        assert_eq!(d.marked_count(), 1);
+        assert!(d.clear(Addr::new(0x100)));
+        assert!(!d.clear(Addr::new(0x100)), "already clear");
+        assert_eq!(d.marked_count(), 0);
+    }
+
+    #[test]
+    fn block_granularity_aliases_whole_block() {
+        let mut d = PiDirectory::new(128);
+        d.mark(Addr::new(0x87f));
+        assert!(d.is_marked(Addr::new(0x800)));
+        assert!(!d.is_marked(Addr::new(0x880)));
+        assert_eq!(d.granule_bytes(), 128);
+    }
+
+    #[test]
+    fn reset_clears_all() {
+        let mut d = PiDirectory::new(8);
+        d.mark(Addr::new(0));
+        d.mark(Addr::new(8));
+        d.reset();
+        assert_eq!(d.marked_count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_pow2_granule_panics() {
+        let _ = PiDirectory::new(12);
+    }
+}

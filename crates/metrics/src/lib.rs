@@ -1,0 +1,88 @@
+//! Reliability metric roll-ups and report formatting.
+//!
+//! Turns AVFs and IPC into the quantities the paper reports: per-structure
+//! SDC/DUE FIT rates, MTTF, and MITF (§2, §3.2), plus fixed-width ASCII
+//! tables used by the experiment harness to print paper-versus-measured
+//! rows.
+//!
+//! # Example
+//!
+//! ```
+//! use ses_metrics::ReliabilityModel;
+//! use ses_types::{Avf, Ipc};
+//!
+//! // The paper's instruction queue: 64 entries x 64 bits at an assumed
+//! // raw rate, 2.5 GHz, IPC 1.21, SDC AVF 29%.
+//! let model = ReliabilityModel::default();
+//! let sdc = model.sdc(Ipc::new(1.21), Avf::from_percent(29.0));
+//! assert!(sdc.mttf.years() > 0.0);
+//! assert!(sdc.mitf.instructions() > 0.0);
+//! ```
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+mod model;
+mod table;
+
+pub use model::{RatePoint, ReliabilityModel};
+pub use table::Table;
+
+/// Arithmetic mean of an iterator of f64 values (0 when empty).
+pub fn mean(values: impl IntoIterator<Item = f64>) -> f64 {
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for v in values {
+        sum += v;
+        n += 1;
+    }
+    if n == 0 {
+        0.0
+    } else {
+        sum / n as f64
+    }
+}
+
+/// Geometric mean of an iterator of positive f64 values (0 when empty).
+///
+/// # Panics
+///
+/// Panics if any value is non-positive.
+pub fn geomean(values: impl IntoIterator<Item = f64>) -> f64 {
+    let mut log_sum = 0.0;
+    let mut n = 0usize;
+    for v in values {
+        assert!(v > 0.0, "geomean requires positive values, got {v}");
+        log_sum += v.ln();
+        n += 1;
+    }
+    if n == 0 {
+        0.0
+    } else {
+        (log_sum / n as f64).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_basic() {
+        assert_eq!(mean([1.0, 2.0, 3.0]), 2.0);
+        assert_eq!(mean([]), 0.0);
+    }
+
+    #[test]
+    fn geomean_basic() {
+        assert!((geomean([1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(geomean([]), 0.0);
+        assert!((geomean([7.0]) - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn geomean_rejects_zero() {
+        let _ = geomean([1.0, 0.0]);
+    }
+}

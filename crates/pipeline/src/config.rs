@@ -1,0 +1,241 @@
+//! Pipeline configuration.
+
+use serde::{Deserialize, Serialize};
+use ses_mem::{HierarchyConfig, Level};
+use ses_types::ConfigError;
+
+/// Exposure-reduction action configuration (the paper's §3.1 "triggers and
+/// actions").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum SquashPolicy {
+    /// Never squash (the paper's baseline).
+    #[default]
+    None,
+    /// Squash all instructions younger than a load that misses in the given
+    /// level (the paper studies `L0` and `L1` triggers).
+    OnLoadMiss(Level),
+}
+
+/// Front-end throttling: stall fetch while a load miss at the given level
+/// is outstanding (the paper's second action; reported as adding little on
+/// top of squashing).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum ThrottlePolicy {
+    /// Never throttle.
+    #[default]
+    None,
+    /// Stall fetch while a load miss in the given level is outstanding.
+    OnLoadMiss(Level),
+}
+
+/// Per-class issue-port limits (an Itanium®2-class machine issues at most
+/// a few memory and branch operations per cycle even at full width).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PortConfig {
+    /// Memory operations (loads/stores/prefetches) per cycle.
+    pub mem: usize,
+    /// Control transfers per cycle.
+    pub branch: usize,
+}
+
+impl Default for PortConfig {
+    fn default() -> Self {
+        PortConfig { mem: 2, branch: 1 }
+    }
+}
+
+/// Issue discipline of the modelled back end.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum IssueOrder {
+    /// Strict in-order issue; an L0-missing load stalls everything younger
+    /// (the paper's machine).
+    #[default]
+    InOrder,
+    /// Out-of-order issue: any ready queue entry may issue, and only true
+    /// dependants wait on a load miss. The paper predicts squashing is
+    /// "not as pronounced" here; the ablation bench measures it.
+    OutOfOrder,
+}
+
+/// Direction-predictor family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum PredictorKind {
+    /// Gshare: PC xor global history indexes 2-bit counters.
+    #[default]
+    Gshare,
+    /// Bimodal: PC-indexed 2-bit counters, no history.
+    Bimodal,
+    /// Statically predict taken (maximum wrong-path generation; useful for
+    /// ablating wrong-path exposure).
+    StaticTaken,
+}
+
+/// Branch-predictor configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PredictorConfig {
+    /// Predictor family.
+    pub kind: PredictorKind,
+    /// log2 of the pattern-history-table size.
+    pub pht_bits: u32,
+    /// Global-history length in branches (gshare only).
+    pub history_bits: u32,
+}
+
+impl Default for PredictorConfig {
+    fn default() -> Self {
+        PredictorConfig {
+            kind: PredictorKind::Gshare,
+            pht_bits: 12,
+            history_bits: 8,
+        }
+    }
+}
+
+/// Full configuration of the timing model.
+///
+/// Defaults model the paper's machine (§5): 6-wide in-order issue, a
+/// 64-entry instruction queue, a deep (25-stage-class) pipeline represented
+/// by an 8-cycle front end, and the default cache hierarchy.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PipelineConfig {
+    /// Fetch/issue/retire width in instructions per cycle.
+    pub width: usize,
+    /// Instruction-queue capacity (the structure under study).
+    pub iq_entries: usize,
+    /// Cycles from fetch to instruction-queue insertion; also the refill
+    /// penalty after a squash or misprediction recovery.
+    pub frontend_depth: u64,
+    /// Cache hierarchy geometry and latencies.
+    pub hierarchy: HierarchyConfig,
+    /// Branch predictor.
+    pub predictor: PredictorConfig,
+    /// Issue discipline.
+    pub issue_order: IssueOrder,
+    /// Per-class issue-port limits.
+    pub ports: PortConfig,
+    /// Squash action.
+    pub squash: SquashPolicy,
+    /// Fetch-throttle action.
+    pub throttle: ThrottlePolicy,
+    /// Period of the synthetic front-end stall pattern in cycles (0
+    /// disables it). Together with `ifetch_stall_cycles` this models the
+    /// instruction-fetch hiccups (I-cache/ITLB misses, taken-branch
+    /// bubbles) that give the paper's machine its ~30 % queue idle time;
+    /// the loops our synthesiser emits are otherwise too front-end-friendly.
+    pub ifetch_stall_period: u64,
+    /// Length of each synthetic front-end stall in cycles.
+    pub ifetch_stall_cycles: u64,
+    /// Scrub the instruction queue every this many cycles (0 disables):
+    /// a background parity sweep that detects latent single-bit faults
+    /// before a second strike can accumulate into an undetectable even
+    /// flip — the defence §2 attributes to scrubbing. Only meaningful in
+    /// fault-injection runs.
+    pub scrub_period: u64,
+    /// Warm the cache hierarchy with the trace's *reused* blocks before
+    /// timing begins. The paper measures 100M-instruction SimPoint slices
+    /// where cold-start effects are negligible; priming reused blocks
+    /// reproduces that steady state while leaving streaming (single-touch)
+    /// blocks cold, so memory-bound workloads stay memory-bound.
+    pub warm_caches: bool,
+    /// Hard cycle budget (guards against pathological stalls).
+    pub max_cycles: u64,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            width: 6,
+            iq_entries: 64,
+            frontend_depth: 8,
+            hierarchy: HierarchyConfig::default(),
+            predictor: PredictorConfig::default(),
+            issue_order: IssueOrder::InOrder,
+            ports: PortConfig::default(),
+            squash: SquashPolicy::None,
+            throttle: ThrottlePolicy::None,
+            ifetch_stall_period: 80,
+            ifetch_stall_cycles: 48,
+            scrub_period: 0,
+            warm_caches: true,
+            max_cycles: 200_000_000,
+        }
+    }
+}
+
+impl PipelineConfig {
+    /// Validates structural constraints.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] naming the first invalid field.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.width == 0 {
+            return Err(ConfigError::new("width must be at least 1"));
+        }
+        if self.ports.mem == 0 || self.ports.branch == 0 {
+            return Err(ConfigError::new("issue ports must be at least 1 each"));
+        }
+        if self.iq_entries == 0 {
+            return Err(ConfigError::new("instruction queue needs at least 1 entry"));
+        }
+        if self.frontend_depth == 0 {
+            return Err(ConfigError::new("front end must be at least 1 cycle deep"));
+        }
+        if self.max_cycles == 0 {
+            return Err(ConfigError::new("cycle budget must be positive"));
+        }
+        Ok(())
+    }
+
+    /// Convenience: this config with a squash trigger installed.
+    pub fn with_squash(mut self, level: Level) -> Self {
+        self.squash = SquashPolicy::OnLoadMiss(level);
+        self
+    }
+
+    /// Convenience: this config with fetch throttling installed.
+    pub fn with_throttle(mut self, level: Level) -> Self {
+        self.throttle = ThrottlePolicy::OnLoadMiss(level);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_validates_and_matches_paper() {
+        let c = PipelineConfig::default();
+        c.validate().unwrap();
+        assert_eq!(c.width, 6);
+        assert_eq!(c.iq_entries, 64);
+        assert_eq!(c.squash, SquashPolicy::None);
+    }
+
+    #[test]
+    #[allow(clippy::field_reassign_with_default)]
+    fn invalid_configs_rejected() {
+        let mut c = PipelineConfig::default();
+        c.width = 0;
+        assert!(c.validate().is_err());
+        let mut c = PipelineConfig::default();
+        c.iq_entries = 0;
+        assert!(c.validate().is_err());
+        let mut c = PipelineConfig::default();
+        c.frontend_depth = 0;
+        assert!(c.validate().is_err());
+        let mut c = PipelineConfig::default();
+        c.max_cycles = 0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn builders_set_policies() {
+        let c = PipelineConfig::default()
+            .with_squash(Level::L1)
+            .with_throttle(Level::L0);
+        assert_eq!(c.squash, SquashPolicy::OnLoadMiss(Level::L1));
+        assert_eq!(c.throttle, ThrottlePolicy::OnLoadMiss(Level::L0));
+    }
+}

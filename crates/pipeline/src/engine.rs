@@ -1,0 +1,516 @@
+//! The cycle-by-cycle timing engine.
+//!
+//! An in-order, `width`-wide machine replaying the functional trace:
+//!
+//! 1. **recover** — a completed mispredicted branch flushes the wrong path
+//!    and redirects fetch;
+//! 2. **retire** — up to `width` oldest completed entries leave the queue
+//!    (this is where the π-bit retire-unit logic and PET logging run);
+//! 3. **issue** — up to `width` ready entries issue in order; loads access
+//!    the cache hierarchy; parity is checked here (the entry is *read*);
+//!    load misses fire the squash/throttle triggers;
+//! 4. **insert** — instructions arriving from the front-end pipe claim
+//!    free queue slots;
+//! 5. **fetch** — the front end follows the predicted path;
+//! 6. **inject** — a pending fault flips its bit once the injection cycle
+//!    is reached.
+
+use ses_arch::{DynInstr, ExecutionTrace};
+use ses_isa::{Opcode, Program};
+use ses_mem::{AccessKind, Hierarchy, Level};
+use ses_types::{Cycle, Pred, Reg, SeqNo};
+
+use crate::config::{IssueOrder, PipelineConfig, SquashPolicy, ThrottlePolicy};
+use crate::detect::{DetectionModel, Detector, FaultSpec};
+use crate::frontend::{FetchedInstr, FrontEnd};
+use crate::iq::{InstructionQueue, IqEntry};
+use crate::residency::{Occupant, ResidencyEnd};
+use crate::result::PipelineResult;
+
+/// A scheduled misprediction recovery.
+#[derive(Debug, Clone, Copy)]
+struct Recovery {
+    at: Cycle,
+    branch_seq: SeqNo,
+    resume_trace_idx: u64,
+}
+
+/// The timing simulator.
+///
+/// See the [crate-level documentation](crate) for an end-to-end example.
+pub struct Pipeline {
+    config: PipelineConfig,
+}
+
+impl Pipeline {
+    /// Creates a pipeline with the given configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid configuration; validate with
+    /// [`PipelineConfig::validate`] first to handle errors gracefully.
+    pub fn new(config: PipelineConfig) -> Self {
+        config.validate().expect("invalid pipeline configuration");
+        Pipeline { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &PipelineConfig {
+        &self.config
+    }
+
+    /// Runs the timing model over a functional trace.
+    pub fn run(&self, program: &Program, trace: &ExecutionTrace) -> PipelineResult {
+        self.run_with_fault(program, trace, None, DetectionModel::None)
+    }
+
+    /// Runs the timing model with an optional injected fault under the
+    /// given detection model.
+    pub fn run_with_fault(
+        &self,
+        program: &Program,
+        trace: &ExecutionTrace,
+        fault: Option<FaultSpec>,
+        detection: DetectionModel,
+    ) -> PipelineResult {
+        Engine::new(&self.config, program, trace, fault, detection).run()
+    }
+}
+
+struct Engine<'a> {
+    cfg: &'a PipelineConfig,
+    trace: &'a [DynInstr],
+    frontend: FrontEnd<'a>,
+    iq: InstructionQueue,
+    hierarchy: Hierarchy,
+    reg_ready: [Cycle; Reg::COUNT],
+    pred_ready: [Cycle; Pred::COUNT],
+    committed: u64,
+    recovery: Option<Recovery>,
+    /// Cycle until which a triggering load miss is outstanding (throttle).
+    miss_outstanding_until: Cycle,
+    /// In-order stall: issue is blocked behind an outstanding L0-missing
+    /// load until its data returns (the paper's premise that "data cache
+    /// misses in in-order pipelines ... always result in pipeline stalls").
+    stall_until: Cycle,
+    squashes: u64,
+    squashed_instrs: u64,
+    fault: Option<FaultSpec>,
+    detector: Detector,
+    stop_early: bool,
+}
+
+impl<'a> Engine<'a> {
+    fn new(
+        cfg: &'a PipelineConfig,
+        program: &'a Program,
+        trace: &'a ExecutionTrace,
+        fault: Option<FaultSpec>,
+        detection: DetectionModel,
+    ) -> Self {
+        Engine {
+            cfg,
+            trace: trace.entries(),
+            frontend: FrontEnd::new(cfg, program, trace.entries()),
+            iq: InstructionQueue::new(cfg.iq_entries),
+            hierarchy: Hierarchy::new(cfg.hierarchy),
+            reg_ready: [Cycle::ZERO; Reg::COUNT],
+            pred_ready: [Cycle::ZERO; Pred::COUNT],
+            committed: 0,
+            recovery: None,
+            miss_outstanding_until: Cycle::ZERO,
+            stall_until: Cycle::ZERO,
+            squashes: 0,
+            squashed_instrs: 0,
+            fault,
+            detector: Detector::new(detection),
+            stop_early: false,
+        }
+    }
+
+    fn run(mut self) -> PipelineResult {
+        if self.cfg.warm_caches {
+            self.warm_caches();
+        }
+        let mut now = Cycle::ZERO;
+        let total = self.trace.len() as u64;
+        let mut budget_exhausted = false;
+        while self.committed < total && !self.stop_early {
+            if now.as_u64() >= self.cfg.max_cycles {
+                budget_exhausted = true;
+                break;
+            }
+            self.step_recovery(now);
+            self.step_retire(now);
+            self.step_issue(now);
+            self.step_insert(now);
+            self.step_fetch(now);
+            self.step_inject(now);
+            self.iq.tick_stats();
+            now = now.next();
+        }
+        self.iq.drain_all(now);
+        // Resolve any entries that were drained while corrupted.
+        // (drain_all already logged residencies; the detector saw
+        // deallocs only for squash/flush paths, so let finish() decide.)
+        let (predictions, mispredictions) = self.frontend.predictor_stats();
+        let fe_stats = self.frontend.stats();
+        let fault_outcome = if self.fault.is_some() {
+            self.detector.finish()
+        } else {
+            None
+        };
+        PipelineResult {
+            cycles: now.as_u64(),
+            committed: self.committed,
+            iq_capacity: self.cfg.iq_entries,
+            occupied_cycle_sum: self.iq.occupied_cycle_sum(),
+            predictions,
+            mispredictions,
+            squashes: self.squashes,
+            squashed_instrs: self.squashed_instrs,
+            wrong_path_fetched: fe_stats.wrong_path_fetched,
+            throttled_cycles: fe_stats.throttled_cycles,
+            l0: self.hierarchy.stats(Level::L0),
+            l1: self.hierarchy.stats(Level::L1),
+            l2: self.hierarchy.stats(Level::L2),
+            fault: fault_outcome,
+            budget_exhausted,
+            residencies: self.iq.into_residencies(),
+        }
+    }
+
+    /// Primes the hierarchy with every data block the trace touches more
+    /// than once, in first-touch order, then clears the statistics. This
+    /// reproduces warmed steady-state caches without hiding the cold
+    /// streaming behaviour of single-touch (memory-bound) access patterns.
+    fn warm_caches(&mut self) {
+        use std::collections::HashMap;
+        let block = self.cfg.hierarchy.l1.block_bytes;
+        let mut touches: HashMap<u64, u32> = HashMap::new();
+        for d in self.trace {
+            for addr in [d.mem_read, d.mem_written].into_iter().flatten() {
+                *touches.entry(addr.block_base(block).as_u64()).or_insert(0) += 1;
+            }
+        }
+        let mut primed: std::collections::HashSet<u64> = std::collections::HashSet::new();
+        for d in self.trace {
+            for addr in [d.mem_read, d.mem_written].into_iter().flatten() {
+                let base = addr.block_base(block).as_u64();
+                if touches.get(&base).copied().unwrap_or(0) >= 2 && primed.insert(base) {
+                    self.hierarchy.access(addr, AccessKind::Load);
+                }
+            }
+        }
+        self.hierarchy.reset_stats();
+    }
+
+    fn step_recovery(&mut self, now: Cycle) {
+        let Some(rec) = self.recovery else { return };
+        if rec.at > now {
+            return;
+        }
+        self.recovery = None;
+        let flushed = self.iq.flush_younger(rec.branch_seq, now);
+        for e in &flushed {
+            if self.detector.on_dealloc(e, ResidencyEnd::FlushedWrongPath) {
+                self.stop_early = true;
+            }
+        }
+        self.frontend.redirect(rec.resume_trace_idx, now.next());
+    }
+
+    fn step_retire(&mut self, now: Cycle) {
+        for _ in 0..self.cfg.width {
+            let Some(slot) = self.iq.head() else { break };
+            let entry = self.iq.get(slot).expect("head occupied");
+            let Occupant::CorrectPath { trace_idx } = entry.occupant else {
+                // Wrong-path entries at the head wait for their flush.
+                break;
+            };
+            let done = entry
+                .complete_at
+                .map(|c| c <= now)
+                .unwrap_or(false);
+            if !done {
+                break;
+            }
+            let entry = self.iq.retire(slot, now);
+            self.committed += 1;
+            let d = &self.trace[trace_idx as usize];
+            if self.detector.on_commit(&entry, d) {
+                self.stop_early = true;
+            }
+        }
+    }
+
+    fn step_issue(&mut self, now: Cycle) {
+        let in_order = self.cfg.issue_order == IssueOrder::InOrder;
+        if in_order && now < self.stall_until {
+            return; // in-order pipeline stalled behind a load miss
+        }
+        let mut issued = 0usize;
+        let mut mem_issued = 0usize;
+        let mut branch_issued = 0usize;
+        let order: Vec<usize> = self.iq.age_order().to_vec();
+        let mut squash_request: Option<(SeqNo, u64, Cycle)> = None;
+        for slot in order {
+            if issued >= self.cfg.width {
+                break;
+            }
+            let entry = self.iq.get(slot).expect("slot in order list");
+            if entry.issued.is_some() {
+                continue; // already in flight; in-order issue may proceed
+            }
+            // Issue-port limits: a full port stalls in-order issue (the
+            // blocked instruction is the oldest unissued one) and is merely
+            // skipped out of order.
+            let needs_mem = entry.instr.op.touches_memory();
+            let needs_branch = entry.instr.op.is_control();
+            let port_blocked = (needs_mem && mem_issued >= self.cfg.ports.mem)
+                || (needs_branch && branch_issued >= self.cfg.ports.branch);
+            if port_blocked || !self.ready_to_issue(entry, now) {
+                if in_order {
+                    break; // in-order: the first stalled entry blocks younger
+                }
+                continue; // out-of-order: younger ready entries may pass
+            }
+            if needs_mem {
+                mem_issued += 1;
+            }
+            if needs_branch {
+                branch_issued += 1;
+            }
+            // --- issue the entry ---
+            let seq = entry.seq;
+            let occupant = entry.occupant;
+            let instr = entry.instr;
+            let mispredicted = self.trace_mispredict_flag(slot);
+            let complete_at = self.compute_completion(slot, now, &mut squash_request);
+            let entry = self.iq.get_mut(slot).expect("slot still occupied");
+            entry.issued = Some(now);
+            entry.complete_at = Some(complete_at);
+            if self.detector.on_issue(self.iq.get_mut(slot).expect("occupied")) {
+                self.stop_early = true;
+            }
+            // Scoreboard update for executed correct-path instructions.
+            if let Occupant::CorrectPath { trace_idx } = occupant {
+                let d = &self.trace[trace_idx as usize];
+                if d.executed {
+                    if let Some(w) = d.reg_written {
+                        self.reg_ready[w.index()] = complete_at;
+                    }
+                    if let Some(p) = d.pred_written {
+                        self.pred_ready[p.index()] = complete_at;
+                    }
+                }
+                if mispredicted {
+                    self.recovery = Some(Recovery {
+                        at: complete_at,
+                        branch_seq: seq,
+                        resume_trace_idx: trace_idx + 1,
+                    });
+                }
+            }
+            let _ = instr;
+            issued += 1;
+        }
+
+        if let Some((load_seq, load_trace_idx, data_ready)) = squash_request {
+            self.apply_squash(load_seq, load_trace_idx, data_ready, now);
+        }
+    }
+
+    fn trace_mispredict_flag(&self, slot: usize) -> bool {
+        self.iq
+            .get(slot)
+            .map(|e| e.mispredicted_branch)
+            .unwrap_or(false)
+    }
+
+    fn ready_to_issue(&self, entry: &IqEntry, now: Cycle) -> bool {
+        match entry.occupant {
+            // Wrong-path operands are bogus anyway; they issue freely.
+            Occupant::WrongPath => true,
+            Occupant::CorrectPath { .. } => {
+                if self.pred_ready[entry.instr.qp.index()] > now {
+                    return false;
+                }
+                entry
+                    .instr
+                    .reads()
+                    .all(|r| self.reg_ready[r.index()] <= now)
+            }
+        }
+    }
+
+    /// Computes the completion cycle, performing the cache access for
+    /// executed loads/stores/prefetches and recording any squash trigger.
+    fn compute_completion(
+        &mut self,
+        slot: usize,
+        now: Cycle,
+        squash_request: &mut Option<(SeqNo, u64, Cycle)>,
+    ) -> Cycle {
+        let entry = self.iq.get(slot).expect("slot occupied");
+        let op = entry.instr.op;
+        let seq = entry.seq;
+        let base = op.base_latency().max(1);
+        let Occupant::CorrectPath { trace_idx } = entry.occupant else {
+            return now + base;
+        };
+        let d = &self.trace[trace_idx as usize];
+        if !d.executed {
+            return now + 1;
+        }
+        match op {
+            Opcode::Ld => {
+                let addr = d.mem_read.expect("executed load has an address");
+                let access = self.hierarchy.access(addr, AccessKind::Load);
+                let complete = now + access.latency;
+                // An L0 miss stalls in-order issue until the data returns.
+                if access.missed_in(Level::L0) && complete > self.stall_until {
+                    self.stall_until = complete;
+                }
+                // Squash / throttle triggers (§3.1): a load miss at the
+                // configured level.
+                if let SquashPolicy::OnLoadMiss(level) = self.cfg.squash {
+                    // Keep the oldest triggering load of the cycle: the
+                    // squash boundary is "younger than the (first) load
+                    // that missed".
+                    if access.missed_in(level) && squash_request.is_none() {
+                        *squash_request = Some((seq, trace_idx, complete));
+                    }
+                }
+                if let ThrottlePolicy::OnLoadMiss(level) = self.cfg.throttle {
+                    if access.missed_in(level) && complete > self.miss_outstanding_until {
+                        self.miss_outstanding_until = complete;
+                    }
+                }
+                complete
+            }
+            Opcode::St => {
+                let addr = d.mem_written.expect("executed store has an address");
+                self.hierarchy.access(addr, AccessKind::Store);
+                now + 1 // the store buffer absorbs the latency
+            }
+            // Prefetches are non-blocking; their fills are second-order for
+            // the AVF questions studied here and are not modelled.
+            Opcode::Prefetch => now + 1,
+            Opcode::Br => now + self.branch_latency(),
+            _ => now + base,
+        }
+    }
+
+    fn branch_latency(&self) -> u64 {
+        // Conditional branches resolve in the back end; three cycles models
+        // the issue-to-resolve distance of an Itanium®2-class core.
+        3
+    }
+
+    fn apply_squash(&mut self, load_seq: SeqNo, load_trace_idx: u64, data_ready: Cycle, now: Cycle) {
+        let squashed = self.iq.squash_younger(load_seq, now);
+        for e in &squashed {
+            if self.detector.on_dealloc(e, ResidencyEnd::Squashed) {
+                self.stop_early = true;
+            }
+        }
+        self.squashed_instrs += squashed.len() as u64;
+        self.squashes += 1;
+        // Cancel a pending recovery if its branch was squashed.
+        if let Some(rec) = self.recovery {
+            if rec.branch_seq.is_younger_than(load_seq) {
+                self.recovery = None;
+            }
+        }
+        // Refetch from just after the load, timed so instructions re-enter
+        // the queue as the pipeline resumes execution ("bring them back
+        // when the pipeline resumes execution", §3) — that is, when the
+        // *last* outstanding miss returns, not just the triggering one.
+        let horizon = data_ready.max(self.stall_until);
+        let resume = Cycle::new(
+            horizon
+                .as_u64()
+                .saturating_sub(self.cfg.frontend_depth)
+                .max(now.as_u64() + 1),
+        );
+        self.frontend.redirect(load_trace_idx + 1, resume);
+    }
+
+    fn step_insert(&mut self, now: Cycle) {
+        let free = self.iq.free().min(self.cfg.width);
+        if free == 0 {
+            return;
+        }
+        for f in self.frontend.take_ready(now, free) {
+            let FetchedInstr {
+                occupant,
+                instr,
+                seq,
+                falsely_predicated,
+                mispredicted_branch,
+                ..
+            } = f;
+            let mut entry = IqEntry::new(occupant, instr, seq, now, falsely_predicated);
+            entry.mispredicted_branch = mispredicted_branch;
+            self.iq.insert(entry);
+        }
+    }
+
+    fn step_fetch(&mut self, now: Cycle) {
+        let throttled = matches!(self.cfg.throttle, ThrottlePolicy::OnLoadMiss(_))
+            && now < self.miss_outstanding_until;
+        // Synthetic front-end stall pattern (I-cache/ITLB hiccups).
+        let ifetch_stalled = self.cfg.ifetch_stall_period > 0
+            && now.as_u64() % self.cfg.ifetch_stall_period < self.cfg.ifetch_stall_cycles;
+        self.frontend.throttled = throttled;
+        if !ifetch_stalled {
+            self.frontend.fetch(now);
+        }
+    }
+
+    fn step_inject(&mut self, now: Cycle) {
+        let Some(f) = self.fault else { return };
+        // Background scrubbing: a periodic parity sweep over the queue.
+        if self.cfg.scrub_period > 0
+            && now.as_u64() > 0
+            && now.as_u64() % self.cfg.scrub_period == 0
+        {
+            let slots: Vec<usize> = self.iq.age_order().to_vec();
+            for slot in slots {
+                if let Some(entry) = self.iq.get_mut(slot) {
+                    if entry.parity_mismatch() && self.detector.on_scrub(entry) {
+                        self.stop_early = true;
+                        return;
+                    }
+                }
+            }
+        }
+        if f.cycle == now {
+            let entry = self.iq.get_mut(f.slot);
+            self.detector.on_injection(entry, f.mask());
+            if self.detector.outcome().is_some() {
+                self.stop_early = true;
+            }
+            // Mark the first strike spent.
+            self.fault = Some(FaultSpec {
+                cycle: Cycle::new(u64::MAX),
+                ..f
+            });
+            return;
+        }
+        // A deferred second strike lands only while the struck entry is
+        // still resident in its slot.
+        if let Some((c2, mask)) = f.second_mask() {
+            if c2 == now {
+                if let Some(entry) = self.iq.get_mut(f.slot) {
+                    self.detector.on_second_strike(entry, mask);
+                }
+                self.fault = Some(FaultSpec {
+                    second_cycle: Some(Cycle::new(u64::MAX)),
+                    ..f
+                });
+            }
+        }
+    }
+}

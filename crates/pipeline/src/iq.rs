@@ -1,0 +1,367 @@
+//! The 64-entry instruction queue: the hardware structure under study.
+//!
+//! Entries live in fixed slots (so the fault injector can target
+//! slot × bit coordinates, matching the paper's per-bit AVF accounting) and
+//! are aged by fetch sequence number for in-order issue, retirement, and
+//! the squash-all-younger action.
+
+use ses_isa::{encode, Instruction};
+use ses_types::{Cycle, SeqNo};
+
+use crate::residency::{Occupant, Residency, ResidencyEnd};
+
+/// One occupied instruction-queue slot.
+#[derive(Debug, Clone)]
+pub struct IqEntry {
+    /// Who this is.
+    pub occupant: Occupant,
+    /// The uncorrupted instruction.
+    pub instr: Instruction,
+    /// The stored 64-bit word; fault injection flips bits here.
+    pub word: u64,
+    /// The word as written at allocation (the parity reference).
+    pub original_word: u64,
+    /// Fetch order.
+    pub seq: SeqNo,
+    /// Allocation cycle.
+    pub alloc: Cycle,
+    /// Issue cycle, once issued.
+    pub issued: Option<Cycle>,
+    /// Execution-complete cycle, set at issue.
+    pub complete_at: Option<Cycle>,
+    /// Whether the qualifying predicate evaluated false (correct path only).
+    pub falsely_predicated: bool,
+    /// π bit: set on parity detection instead of signalling (§4.2).
+    pub pi: bool,
+    /// anti-π bit: set at decode for neutral instruction types (§4.3.2).
+    pub anti_pi: bool,
+    /// Whether this is a conditional branch the front end mispredicted;
+    /// its completion triggers recovery.
+    pub mispredicted_branch: bool,
+}
+
+impl IqEntry {
+    /// Creates an entry for a newly inserted instruction.
+    pub fn new(
+        occupant: Occupant,
+        instr: Instruction,
+        seq: SeqNo,
+        alloc: Cycle,
+        falsely_predicated: bool,
+    ) -> Self {
+        let word = encode(&instr);
+        IqEntry {
+            occupant,
+            instr,
+            word,
+            original_word: word,
+            seq,
+            alloc,
+            issued: None,
+            complete_at: None,
+            falsely_predicated,
+            pi: false,
+            anti_pi: instr.is_neutral(),
+            mispredicted_branch: false,
+        }
+    }
+
+    /// Whether a strike has corrupted the stored word (what parity sees on
+    /// a read).
+    pub fn parity_mismatch(&self) -> bool {
+        self.word != self.original_word
+    }
+
+    fn residency(&self, dealloc: Cycle, end: ResidencyEnd) -> Residency {
+        Residency {
+            slot: usize::MAX, // patched by the queue
+            seq: self.seq,
+            occupant: self.occupant,
+            instr: self.instr,
+            alloc: self.alloc,
+            last_read: self.issued,
+            dealloc,
+            end,
+            falsely_predicated: self.falsely_predicated,
+        }
+    }
+}
+
+/// The fixed-slot instruction queue.
+#[derive(Debug, Clone)]
+pub struct InstructionQueue {
+    slots: Vec<Option<IqEntry>>,
+    /// Slot indices in age order (oldest first).
+    order: Vec<usize>,
+    residencies: Vec<Residency>,
+    /// Sum over cycles of occupied-slot count, for occupancy statistics.
+    occupied_cycle_sum: u64,
+}
+
+impl InstructionQueue {
+    /// Creates an empty queue with `capacity` slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "queue capacity must be positive");
+        InstructionQueue {
+            slots: vec![None; capacity],
+            order: Vec::with_capacity(capacity),
+            residencies: Vec::new(),
+            occupied_cycle_sum: 0,
+        }
+    }
+
+    /// Total slot count.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Number of occupied slots.
+    pub fn occupied(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Number of free slots.
+    pub fn free(&self) -> usize {
+        self.capacity() - self.occupied()
+    }
+
+    /// Whether the queue is full.
+    pub fn is_full(&self) -> bool {
+        self.free() == 0
+    }
+
+    /// Inserts an entry into the lowest free slot, returning the slot index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the queue is full (callers must check [`Self::free`]).
+    pub fn insert(&mut self, entry: IqEntry) -> usize {
+        let slot = self
+            .slots
+            .iter()
+            .position(Option::is_none)
+            .expect("instruction queue overflow");
+        debug_assert!(
+            self.order
+                .last()
+                .map(|&s| self.slots[s].as_ref().unwrap().seq < entry.seq)
+                .unwrap_or(true),
+            "insertions must be in fetch order"
+        );
+        self.slots[slot] = Some(entry);
+        self.order.push(slot);
+        slot
+    }
+
+    /// The entry in `slot`, if occupied.
+    pub fn get(&self, slot: usize) -> Option<&IqEntry> {
+        self.slots.get(slot).and_then(Option::as_ref)
+    }
+
+    /// Mutable access to the entry in `slot`.
+    pub fn get_mut(&mut self, slot: usize) -> Option<&mut IqEntry> {
+        self.slots.get_mut(slot).and_then(Option::as_mut)
+    }
+
+    /// Slot indices in age order (oldest first).
+    pub fn age_order(&self) -> &[usize] {
+        &self.order
+    }
+
+    /// The oldest entry's slot, if any.
+    pub fn head(&self) -> Option<usize> {
+        self.order.first().copied()
+    }
+
+    fn finalize(&mut self, slot: usize, dealloc: Cycle, end: ResidencyEnd) -> IqEntry {
+        let entry = self.slots[slot].take().expect("slot occupied");
+        let mut res = entry.residency(dealloc, end);
+        res.slot = slot;
+        self.residencies.push(res);
+        self.order.retain(|&s| s != slot);
+        entry
+    }
+
+    /// Retires the entry in `slot` (must be the oldest).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is not the oldest occupied slot.
+    pub fn retire(&mut self, slot: usize, now: Cycle) -> IqEntry {
+        assert_eq!(self.head(), Some(slot), "retirement must be in order");
+        self.finalize(slot, now, ResidencyEnd::Retired)
+    }
+
+    /// Removes every entry strictly younger than `seq` with the squash
+    /// ending, returning them oldest-first.
+    pub fn squash_younger(&mut self, seq: SeqNo, now: Cycle) -> Vec<IqEntry> {
+        self.remove_younger(seq, now, ResidencyEnd::Squashed)
+    }
+
+    /// Removes every entry strictly younger than `seq` with the wrong-path
+    /// flush ending, returning them oldest-first.
+    pub fn flush_younger(&mut self, seq: SeqNo, now: Cycle) -> Vec<IqEntry> {
+        self.remove_younger(seq, now, ResidencyEnd::FlushedWrongPath)
+    }
+
+    fn remove_younger(&mut self, seq: SeqNo, now: Cycle, end: ResidencyEnd) -> Vec<IqEntry> {
+        let victims: Vec<usize> = self
+            .order
+            .iter()
+            .copied()
+            .filter(|&s| self.slots[s].as_ref().unwrap().seq.is_younger_than(seq))
+            .collect();
+        victims
+            .into_iter()
+            .map(|slot| self.finalize(slot, now, end))
+            .collect()
+    }
+
+    /// Drains all remaining entries at end of simulation.
+    pub fn drain_all(&mut self, now: Cycle) {
+        let all: Vec<usize> = self.order.clone();
+        for slot in all {
+            self.finalize(slot, now, ResidencyEnd::Drained);
+        }
+    }
+
+    /// Accumulates one cycle of occupancy statistics; call once per cycle.
+    pub fn tick_stats(&mut self) {
+        self.occupied_cycle_sum += self.occupied() as u64;
+    }
+
+    /// Sum over all ticked cycles of the occupied-slot count.
+    pub fn occupied_cycle_sum(&self) -> u64 {
+        self.occupied_cycle_sum
+    }
+
+    /// The finished residency log (consumes the queue).
+    pub fn into_residencies(self) -> Vec<Residency> {
+        self.residencies
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ses_types::Cycle;
+
+    fn entry(seq: u64, alloc: u64) -> IqEntry {
+        IqEntry::new(
+            Occupant::CorrectPath { trace_idx: seq },
+            Instruction::nop(),
+            SeqNo::new(seq),
+            Cycle::new(alloc),
+            false,
+        )
+    }
+
+    #[test]
+    fn insert_fills_lowest_slot_and_tracks_order() {
+        let mut q = InstructionQueue::new(4);
+        let s0 = q.insert(entry(0, 1));
+        let s1 = q.insert(entry(1, 1));
+        assert_eq!((s0, s1), (0, 1));
+        assert_eq!(q.occupied(), 2);
+        assert_eq!(q.head(), Some(0));
+        // Retire the head; next insert reuses slot 0 but ages after slot 1.
+        q.retire(0, Cycle::new(5));
+        let s2 = q.insert(entry(2, 6));
+        assert_eq!(s2, 0);
+        assert_eq!(q.head(), Some(1), "slot 1 holds the oldest entry");
+        assert_eq!(q.age_order(), &[1, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "in order")]
+    fn out_of_order_retire_panics() {
+        let mut q = InstructionQueue::new(4);
+        q.insert(entry(0, 1));
+        q.insert(entry(1, 1));
+        q.retire(1, Cycle::new(5));
+    }
+
+    #[test]
+    fn squash_younger_removes_tail_only() {
+        let mut q = InstructionQueue::new(8);
+        for i in 0..5 {
+            q.insert(entry(i, i));
+        }
+        let squashed = q.squash_younger(SeqNo::new(2), Cycle::new(10));
+        assert_eq!(squashed.len(), 2, "seqs 3 and 4");
+        assert_eq!(q.occupied(), 3);
+        assert_eq!(
+            squashed.iter().map(|e| e.seq.as_u64()).collect::<Vec<_>>(),
+            vec![3, 4]
+        );
+    }
+
+    #[test]
+    fn residency_log_records_ends() {
+        let mut q = InstructionQueue::new(4);
+        q.insert(entry(0, 0));
+        q.insert(entry(1, 0));
+        q.insert(entry(2, 0));
+        q.retire(0, Cycle::new(3));
+        q.squash_younger(SeqNo::new(1), Cycle::new(4));
+        q.drain_all(Cycle::new(9));
+        let log = q.into_residencies();
+        assert_eq!(log.len(), 3);
+        assert_eq!(log[0].end, ResidencyEnd::Retired);
+        assert_eq!(log[1].end, ResidencyEnd::Squashed);
+        assert_eq!(log[2].end, ResidencyEnd::Drained);
+        assert_eq!(log[2].dealloc, Cycle::new(9));
+        assert_eq!(log[0].slot, 0);
+    }
+
+    #[test]
+    fn parity_mismatch_detects_bit_flip() {
+        let mut q = InstructionQueue::new(2);
+        let slot = q.insert(entry(0, 0));
+        assert!(!q.get(slot).unwrap().parity_mismatch());
+        q.get_mut(slot).unwrap().word ^= 1 << 17;
+        assert!(q.get(slot).unwrap().parity_mismatch());
+    }
+
+    #[test]
+    fn anti_pi_set_for_neutral_instructions() {
+        let e = IqEntry::new(
+            Occupant::WrongPath,
+            Instruction::hint(),
+            SeqNo::new(0),
+            Cycle::ZERO,
+            false,
+        );
+        assert!(e.anti_pi);
+        let e2 = IqEntry::new(
+            Occupant::WrongPath,
+            Instruction::halt(),
+            SeqNo::new(1),
+            Cycle::ZERO,
+            false,
+        );
+        assert!(!e2.anti_pi);
+    }
+
+    #[test]
+    fn occupancy_stats_accumulate() {
+        let mut q = InstructionQueue::new(4);
+        q.insert(entry(0, 0));
+        q.tick_stats();
+        q.insert(entry(1, 1));
+        q.tick_stats();
+        assert_eq!(q.occupied_cycle_sum(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflow")]
+    fn overflow_panics() {
+        let mut q = InstructionQueue::new(1);
+        q.insert(entry(0, 0));
+        q.insert(entry(1, 0));
+    }
+}

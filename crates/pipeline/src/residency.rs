@@ -1,0 +1,142 @@
+//! Instruction-queue residency records — the raw material of AVF analysis.
+
+use serde::{Deserialize, Serialize};
+use ses_isa::Instruction;
+use ses_types::{Cycle, SeqNo};
+
+/// What occupied an instruction-queue entry during a residency interval.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Occupant {
+    /// A committed-path instruction; `trace_idx` indexes the functional
+    /// trace (and is stable across squash-and-refetch, so one dynamic
+    /// instruction can own several residencies).
+    CorrectPath {
+        /// Index into the golden [`ses_arch::ExecutionTrace`].
+        trace_idx: u64,
+    },
+    /// A wrong-path instruction fetched past a misprediction.
+    WrongPath,
+}
+
+/// How a residency interval ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ResidencyEnd {
+    /// The instruction retired (correct path only).
+    Retired,
+    /// Removed by the exposure-reduction squash action (will be refetched).
+    Squashed,
+    /// Removed by misprediction recovery (wrong path only).
+    FlushedWrongPath,
+    /// Still resident when the simulation ended.
+    Drained,
+}
+
+/// One occupancy interval of one instruction-queue slot.
+///
+/// The AVF analysis classifies every (bit × cycle) of the interval using
+/// the occupant kind, the instruction's bit-field map, and the
+/// dead-instruction analysis of the functional trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Residency {
+    /// Queue slot index (0-based).
+    pub slot: usize,
+    /// Fetch order of this occupancy.
+    pub seq: SeqNo,
+    /// Who occupied the slot.
+    pub occupant: Occupant,
+    /// The (uncorrupted) instruction held.
+    pub instr: Instruction,
+    /// Cycle the entry was allocated.
+    pub alloc: Cycle,
+    /// Cycle the entry was last read by issue logic (`None` if never
+    /// issued). After this point the entry is Ex-ACE: it persists only for
+    /// possible replay and is never read again.
+    pub last_read: Option<Cycle>,
+    /// Cycle the entry was deallocated.
+    pub dealloc: Cycle,
+    /// How the interval ended.
+    pub end: ResidencyEnd,
+    /// Whether the occupant's qualifying predicate evaluated false.
+    pub falsely_predicated: bool,
+}
+
+impl Residency {
+    /// Total cycles the entry was valid.
+    pub fn valid_cycles(&self) -> u64 {
+        self.dealloc.since(self.alloc)
+    }
+
+    /// Cycles from allocation to last read (the window in which a strike
+    /// can be *detected*, and in which ACE state is exposed). Zero if never
+    /// read.
+    pub fn exposed_cycles(&self) -> u64 {
+        self.last_read.map(|r| r.since(self.alloc)).unwrap_or(0)
+    }
+
+    /// Cycles spent in Ex-ACE state (after the last read, before
+    /// deallocation).
+    pub fn ex_ace_cycles(&self) -> u64 {
+        match self.last_read {
+            Some(r) => self.dealloc.since(r),
+            None => 0,
+        }
+    }
+
+    /// Whether this was a wrong-path occupancy.
+    pub fn is_wrong_path(&self) -> bool {
+        matches!(self.occupant, Occupant::WrongPath)
+    }
+
+    /// The functional-trace index, when on the correct path.
+    pub fn trace_idx(&self) -> Option<u64> {
+        match self.occupant {
+            Occupant::CorrectPath { trace_idx } => Some(trace_idx),
+            Occupant::WrongPath => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn res(alloc: u64, read: Option<u64>, dealloc: u64) -> Residency {
+        Residency {
+            slot: 0,
+            seq: SeqNo::new(1),
+            occupant: Occupant::CorrectPath { trace_idx: 7 },
+            instr: Instruction::nop(),
+            alloc: Cycle::new(alloc),
+            last_read: read.map(Cycle::new),
+            dealloc: Cycle::new(dealloc),
+            end: ResidencyEnd::Retired,
+            falsely_predicated: false,
+        }
+    }
+
+    #[test]
+    fn interval_accounting() {
+        let r = res(10, Some(25), 30);
+        assert_eq!(r.valid_cycles(), 20);
+        assert_eq!(r.exposed_cycles(), 15);
+        assert_eq!(r.ex_ace_cycles(), 5);
+        assert_eq!(r.trace_idx(), Some(7));
+        assert!(!r.is_wrong_path());
+    }
+
+    #[test]
+    fn never_read_has_no_exposure() {
+        let r = res(10, None, 30);
+        assert_eq!(r.exposed_cycles(), 0);
+        assert_eq!(r.ex_ace_cycles(), 0);
+        assert_eq!(r.valid_cycles(), 20);
+    }
+
+    #[test]
+    fn wrong_path_has_no_trace_idx() {
+        let mut r = res(0, None, 5);
+        r.occupant = Occupant::WrongPath;
+        assert!(r.is_wrong_path());
+        assert_eq!(r.trace_idx(), None);
+    }
+}

@@ -1,0 +1,113 @@
+//! Timing-simulation results.
+
+use ses_mem::LevelStats;
+use ses_types::Ipc;
+
+use crate::detect::FaultOutcome;
+use crate::residency::Residency;
+
+/// Everything a timing run produces.
+#[derive(Debug)]
+pub struct PipelineResult {
+    /// Total simulated cycles.
+    pub cycles: u64,
+    /// Committed (retired correct-path) instructions.
+    pub committed: u64,
+    /// The instruction-queue residency log, for AVF analysis.
+    pub residencies: Vec<Residency>,
+    /// Queue capacity used for this run.
+    pub iq_capacity: usize,
+    /// Sum over cycles of occupied queue slots (occupancy integral).
+    pub occupied_cycle_sum: u64,
+    /// Conditional-branch predictions made.
+    pub predictions: u64,
+    /// Mispredictions among them.
+    pub mispredictions: u64,
+    /// Squash actions triggered.
+    pub squashes: u64,
+    /// Instructions removed by squash actions.
+    pub squashed_instrs: u64,
+    /// Wrong-path instructions fetched.
+    pub wrong_path_fetched: u64,
+    /// Cycles fetch was throttled.
+    pub throttled_cycles: u64,
+    /// L0 cache statistics.
+    pub l0: LevelStats,
+    /// L1 cache statistics.
+    pub l1: LevelStats,
+    /// L2 cache statistics.
+    pub l2: LevelStats,
+    /// Resolved fault outcome, when a fault was injected.
+    pub fault: Option<FaultOutcome>,
+    /// Whether the run ended by exhausting its cycle budget rather than
+    /// completing (only possible with pathological configurations).
+    pub budget_exhausted: bool,
+}
+
+impl PipelineResult {
+    /// Committed instructions per cycle.
+    pub fn ipc(&self) -> Ipc {
+        Ipc::from_counts(self.committed, self.cycles)
+    }
+
+    /// Mean occupied fraction of the instruction queue.
+    pub fn mean_occupancy(&self) -> f64 {
+        if self.cycles == 0 {
+            return 0.0;
+        }
+        self.occupied_cycle_sum as f64 / (self.cycles as f64 * self.iq_capacity as f64)
+    }
+
+    /// Misprediction ratio over all conditional branches.
+    pub fn mispredict_ratio(&self) -> f64 {
+        if self.predictions == 0 {
+            0.0
+        } else {
+            self.mispredictions as f64 / self.predictions as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result() -> PipelineResult {
+        PipelineResult {
+            cycles: 100,
+            committed: 121,
+            residencies: Vec::new(),
+            iq_capacity: 64,
+            occupied_cycle_sum: 3200,
+            predictions: 10,
+            mispredictions: 2,
+            squashes: 0,
+            squashed_instrs: 0,
+            wrong_path_fetched: 0,
+            throttled_cycles: 0,
+            l0: LevelStats::default(),
+            l1: LevelStats::default(),
+            l2: LevelStats::default(),
+            fault: None,
+            budget_exhausted: false,
+        }
+    }
+
+    #[test]
+    fn derived_metrics() {
+        let r = result();
+        assert!((r.ipc().value() - 1.21).abs() < 1e-12);
+        assert!((r.mean_occupancy() - 0.5).abs() < 1e-12);
+        assert!((r.mispredict_ratio() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_cycle_run_is_safe() {
+        let mut r = result();
+        r.cycles = 0;
+        r.predictions = 0;
+        assert_eq!(r.ipc().value(), 0.0);
+        assert_eq!(r.mean_occupancy(), 0.0);
+        assert_eq!(r.mispredict_ratio(), 0.0);
+    }
+}

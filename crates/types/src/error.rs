@@ -1,0 +1,123 @@
+//! Error types shared across the workspace.
+
+use std::error::Error;
+use std::fmt;
+
+/// A configuration problem detected while building a simulator or experiment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    what: String,
+}
+
+impl ConfigError {
+    /// Creates a configuration error with a human-readable description.
+    pub fn new(what: impl Into<String>) -> Self {
+        ConfigError { what: what.into() }
+    }
+
+    /// The description of what was wrong.
+    pub fn message(&self) -> &str {
+        &self.what
+    }
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid configuration: {}", self.what)
+    }
+}
+
+impl Error for ConfigError {}
+
+/// Top-level error type for fallible operations in the suite.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum SesError {
+    /// A configuration was rejected.
+    Config(ConfigError),
+    /// A program failed to decode (bad encoding, unknown opcode, …).
+    Decode {
+        /// The 64-bit word that failed to decode.
+        word: u64,
+        /// Why it failed.
+        reason: String,
+    },
+    /// The functional emulator trapped (out-of-range access, bad jump, …).
+    EmulationFault(String),
+    /// An experiment exceeded its configured instruction or cycle budget.
+    BudgetExceeded {
+        /// What ran out ("instructions" or "cycles").
+        resource: &'static str,
+        /// The configured limit.
+        limit: u64,
+    },
+}
+
+impl fmt::Display for SesError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SesError::Config(e) => write!(f, "{e}"),
+            SesError::Decode { word, reason } => {
+                write!(f, "cannot decode instruction word {word:#018x}: {reason}")
+            }
+            SesError::EmulationFault(why) => write!(f, "emulation fault: {why}"),
+            SesError::BudgetExceeded { resource, limit } => {
+                write!(f, "simulation exceeded its {resource} budget of {limit}")
+            }
+        }
+    }
+}
+
+impl Error for SesError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SesError::Config(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ConfigError> for SesError {
+    fn from(e: ConfigError) -> Self {
+        SesError::Config(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        let c = ConfigError::new("queue size must be a power of two");
+        assert!(c.to_string().contains("queue size"));
+        assert_eq!(c.message(), "queue size must be a power of two");
+
+        let e: SesError = c.clone().into();
+        assert!(e.to_string().contains("invalid configuration"));
+        assert!(e.source().is_some());
+
+        let d = SesError::Decode {
+            word: 0xdead_beef,
+            reason: "unknown opcode".into(),
+        };
+        assert!(d.to_string().contains("unknown opcode"));
+        assert!(d.source().is_none());
+
+        let b = SesError::BudgetExceeded {
+            resource: "cycles",
+            limit: 100,
+        };
+        assert!(b.to_string().contains("cycles"));
+
+        let f = SesError::EmulationFault("wild store".into());
+        assert!(f.to_string().contains("wild store"));
+    }
+
+    #[test]
+    fn errors_are_send_sync() {
+        fn assert_bounds<T: Send + Sync + 'static>() {}
+        assert_bounds::<SesError>();
+        assert_bounds::<ConfigError>();
+    }
+}

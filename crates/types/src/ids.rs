@@ -1,0 +1,384 @@
+//! Identity newtypes: simulation time, dynamic instruction sequence numbers,
+//! architectural register/predicate names and memory addresses.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+use serde::{Deserialize, Serialize};
+
+/// A point in simulated time, measured in processor clock cycles.
+///
+/// Cycles are totally ordered and support saturating distance queries, which
+/// the AVF lifetime accounting uses to measure bit residency intervals.
+///
+/// # Example
+///
+/// ```
+/// use ses_types::Cycle;
+/// let start = Cycle::new(10);
+/// let end = start + 25;
+/// assert_eq!(end.since(start), 25);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Cycle(u64);
+
+impl Cycle {
+    /// The zero cycle (reset).
+    pub const ZERO: Cycle = Cycle(0);
+
+    /// Creates a cycle at absolute time `t`.
+    pub const fn new(t: u64) -> Self {
+        Cycle(t)
+    }
+
+    /// Returns the raw cycle count.
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// Number of cycles elapsed since `earlier`, saturating to zero if
+    /// `earlier` is in the future.
+    pub fn since(self, earlier: Cycle) -> u64 {
+        self.0.saturating_sub(earlier.0)
+    }
+
+    /// The immediately following cycle.
+    pub const fn next(self) -> Cycle {
+        Cycle(self.0 + 1)
+    }
+}
+
+impl Add<u64> for Cycle {
+    type Output = Cycle;
+    fn add(self, rhs: u64) -> Cycle {
+        Cycle(self.0 + rhs)
+    }
+}
+
+impl AddAssign<u64> for Cycle {
+    fn add_assign(&mut self, rhs: u64) {
+        self.0 += rhs;
+    }
+}
+
+impl Sub<Cycle> for Cycle {
+    type Output = u64;
+    fn sub(self, rhs: Cycle) -> u64 {
+        self.0 - rhs.0
+    }
+}
+
+impl fmt::Display for Cycle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cycle {}", self.0)
+    }
+}
+
+/// Dynamic instruction sequence number.
+///
+/// Every instruction fetched by the timing model — correct-path or
+/// wrong-path — receives a unique, monotonically increasing `SeqNo`. Program
+/// order among correct-path instructions coincides with `SeqNo` order.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SeqNo(u64);
+
+impl SeqNo {
+    /// The first sequence number handed out.
+    pub const FIRST: SeqNo = SeqNo(0);
+
+    /// Creates a sequence number from a raw index.
+    pub const fn new(n: u64) -> Self {
+        SeqNo(n)
+    }
+
+    /// Returns the raw index.
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// The next sequence number, advancing `self` in place.
+    pub fn bump(&mut self) -> SeqNo {
+        let cur = *self;
+        self.0 += 1;
+        cur
+    }
+
+    /// Whether `self` is younger (later in fetch order) than `other`.
+    pub fn is_younger_than(self, other: SeqNo) -> bool {
+        self.0 > other.0
+    }
+}
+
+impl fmt::Display for SeqNo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// An architectural general-purpose register name, `r0`–`r63`.
+///
+/// `r0` is hardwired to zero, following the SES-64 ISA convention (itself
+/// modelled on IA-64's `r0`).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// Number of architectural general-purpose registers.
+    pub const COUNT: usize = 64;
+    /// The hardwired-zero register.
+    pub const ZERO: Reg = Reg(0);
+
+    /// Creates a register name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n >= Reg::COUNT`.
+    pub fn new(n: u8) -> Self {
+        assert!(
+            (n as usize) < Self::COUNT,
+            "register index {n} out of range"
+        );
+        Reg(n)
+    }
+
+    /// Creates a register name, returning `None` when out of range.
+    pub fn try_new(n: u8) -> Option<Self> {
+        ((n as usize) < Self::COUNT).then_some(Reg(n))
+    }
+
+    /// Raw register index.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Whether this is the hardwired-zero register.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Iterates over all register names in index order.
+    pub fn all() -> impl Iterator<Item = Reg> {
+        (0..Self::COUNT as u8).map(Reg)
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// An architectural predicate register name, `p0`–`p7`.
+///
+/// `p0` is hardwired to *true*; an instruction guarded by `p0` always
+/// executes. Instructions guarded by a false predicate are *falsely
+/// predicated* and are one of the paper's sources of false DUE events.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Pred(u8);
+
+impl Pred {
+    /// Number of architectural predicate registers.
+    pub const COUNT: usize = 8;
+    /// The always-true predicate.
+    pub const TRUE: Pred = Pred(0);
+
+    /// Creates a predicate name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n >= Pred::COUNT`.
+    pub fn new(n: u8) -> Self {
+        assert!(
+            (n as usize) < Self::COUNT,
+            "predicate index {n} out of range"
+        );
+        Pred(n)
+    }
+
+    /// Creates a predicate name, returning `None` when out of range.
+    pub fn try_new(n: u8) -> Option<Self> {
+        ((n as usize) < Self::COUNT).then_some(Pred(n))
+    }
+
+    /// Raw predicate index.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Whether this is the hardwired-true predicate.
+    pub const fn is_always_true(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Iterates over all predicate names in index order.
+    pub fn all() -> impl Iterator<Item = Pred> {
+        (0..Self::COUNT as u8).map(Pred)
+    }
+}
+
+impl fmt::Display for Pred {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// A byte address in the simulated flat address space.
+///
+/// Code and data share one 64-bit space; the cache hierarchy operates on
+/// block-aligned `Addr` values.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Addr(u64);
+
+impl Addr {
+    /// The null address.
+    pub const NULL: Addr = Addr(0);
+
+    /// Creates an address.
+    pub const fn new(a: u64) -> Self {
+        Addr(a)
+    }
+
+    /// Raw address value.
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// The address rounded down to a multiple of `block` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block` is not a power of two.
+    pub fn block_base(self, block: u64) -> Addr {
+        assert!(block.is_power_of_two(), "block size must be a power of two");
+        Addr(self.0 & !(block - 1))
+    }
+
+    /// Byte offset of this address within its `block`-byte block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block` is not a power of two.
+    pub fn block_offset(self, block: u64) -> u64 {
+        assert!(block.is_power_of_two(), "block size must be a power of two");
+        self.0 & (block - 1)
+    }
+
+    /// The address `bytes` later.
+    pub const fn offset(self, bytes: u64) -> Addr {
+        Addr(self.0 + bytes)
+    }
+}
+
+impl Add<u64> for Addr {
+    type Output = Addr;
+    fn add(self, rhs: u64) -> Addr {
+        Addr(self.0 + rhs)
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+impl fmt::LowerHex for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycle_arithmetic() {
+        let c = Cycle::new(5);
+        assert_eq!((c + 7).as_u64(), 12);
+        assert_eq!((c + 7).since(c), 7);
+        assert_eq!(c.since(c + 7), 0, "since saturates");
+        assert_eq!(c.next().as_u64(), 6);
+        let mut m = Cycle::ZERO;
+        m += 3;
+        assert_eq!(m, Cycle::new(3));
+        assert_eq!(Cycle::new(9) - Cycle::new(4), 5);
+    }
+
+    #[test]
+    fn cycle_display() {
+        assert_eq!(Cycle::new(42).to_string(), "cycle 42");
+    }
+
+    #[test]
+    fn seqno_ordering_and_bump() {
+        let mut s = SeqNo::FIRST;
+        let a = s.bump();
+        let b = s.bump();
+        assert!(b.is_younger_than(a));
+        assert!(!a.is_younger_than(b));
+        assert!(!a.is_younger_than(a));
+        assert_eq!(a.as_u64(), 0);
+        assert_eq!(b.as_u64(), 1);
+        assert_eq!(b.to_string(), "#1");
+    }
+
+    #[test]
+    fn reg_bounds() {
+        assert_eq!(Reg::new(63).index(), 63);
+        assert!(Reg::try_new(64).is_none());
+        assert!(Reg::try_new(63).is_some());
+        assert!(Reg::ZERO.is_zero());
+        assert!(!Reg::new(1).is_zero());
+        assert_eq!(Reg::all().count(), Reg::COUNT);
+        assert_eq!(Reg::new(7).to_string(), "r7");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn reg_new_panics_out_of_range() {
+        let _ = Reg::new(64);
+    }
+
+    #[test]
+    fn pred_bounds() {
+        assert!(Pred::TRUE.is_always_true());
+        assert!(!Pred::new(3).is_always_true());
+        assert!(Pred::try_new(8).is_none());
+        assert_eq!(Pred::all().count(), Pred::COUNT);
+        assert_eq!(Pred::new(2).to_string(), "p2");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn pred_new_panics_out_of_range() {
+        let _ = Pred::new(8);
+    }
+
+    #[test]
+    fn addr_block_math() {
+        let a = Addr::new(0x1234);
+        assert_eq!(a.block_base(64).as_u64(), 0x1200);
+        assert_eq!(a.block_offset(64), 0x34);
+        assert_eq!(a.offset(0x10).as_u64(), 0x1244);
+        assert_eq!((a + 4).as_u64(), 0x1238);
+        assert_eq!(format!("{a}"), "0x1234");
+        assert_eq!(format!("{a:x}"), "1234");
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn addr_block_base_rejects_non_pow2() {
+        let _ = Addr::new(10).block_base(48);
+    }
+}

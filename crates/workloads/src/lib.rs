@@ -1,0 +1,54 @@
+//! Synthetic workload suite standing in for SPEC CPU2000.
+//!
+//! The paper evaluates on SimPoint slices of SPEC CPU2000 compiled for
+//! IA-64 (its Table 2). We cannot run SPEC binaries, so this crate
+//! synthesises programs whose *dynamic mix* exercises the same phenomena the
+//! paper's analysis depends on:
+//!
+//! * **wrong-path instructions** — data-dependent, hard-to-predict branches
+//!   (sourced from a random-initialised pattern array) generate
+//!   mispredictions and wrong-path fetch;
+//! * **falsely predicated instructions** — compare-defined predicates guard
+//!   real work and evaluate false a controllable fraction of the time;
+//! * **neutral instructions** — no-ops, prefetches and hints at densities
+//!   chosen per benchmark (higher for the floating-point-like suite, as the
+//!   paper observes for IA-64 FP codes);
+//! * **dynamically dead instructions** — first-level and transitive dead
+//!   register chains, dead stores, and procedure-return-killed registers,
+//!   at roughly the paper's reported 20 % of dynamic instructions, with a
+//!   spread of def-to-kill distances so PET-buffer coverage has the paper's
+//!   size dependence (Figure 3);
+//! * **cache-miss stalls** — per-benchmark working-set sizes and strides
+//!   spanning comfortable L0 residence up to L2/memory-bound streaming
+//!   (the `mcf`- and `ammp`-like entries).
+//!
+//! Every workload is fully deterministic given its seed.
+//!
+//! # Example
+//!
+//! ```
+//! use ses_workloads::{suite, synthesize};
+//!
+//! let specs = suite();
+//! assert_eq!(specs.len(), 26);
+//! let program = synthesize(&specs[0]);
+//! assert!(program.len() > 10);
+//! ```
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+mod kernels;
+mod mix;
+mod spec;
+mod suite;
+mod synth;
+
+pub use kernels::{
+    bitcount, fibonacci, insertion_sort, kernels, list_chase, matmul, memcpy_checksum, sieve,
+    Kernel,
+};
+pub use mix::TraceMix;
+pub use spec::{BlockMix, Category, WorkloadSpec};
+pub use suite::{spec_by_name, suite};
+pub use synth::synthesize;

@@ -1,0 +1,15 @@
+; Fibonacci: print fib(1)..fib(12), then a deliberately dead shadow value.
+; Assembled and executed by `ser-repro run-asm examples/asm/fib.s`.
+	movi r1 = 12          ; counter
+	movi r2 = 0           ; fib(n-1)
+	movi r3 = 1           ; fib(n)
+loop:
+	add  r4 = r2, r3      ; next
+	mul  r20 = r4, r4     ; dead: r20 is never read
+	out  r3
+	add  r2 = r3, r0
+	add  r3 = r4, r0
+	addi r1 = r1, -1
+	cmp.lt p1 = r0, r1
+	(p1) br loop
+	halt

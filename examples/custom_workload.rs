@@ -1,0 +1,71 @@
+//! Build a custom workload and a hand-written SES-64 program, and push
+//! both through the full pipeline — the "bring your own code" path a
+//! downstream user of the library would take.
+//!
+//! Run with `cargo run --release --example custom_workload`.
+
+use ses_core::{run_workload, Category, PipelineConfig, WorkloadSpec};
+use ses_isa::{Instruction, ProgramBuilder};
+use ses_types::{Pred, Reg};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // --- Part 1: a custom spec for the synthesiser -----------------------
+    // A pointer-chasing-flavoured workload: large working set, sparse
+    // strides, frequent far misses.
+    let mut spec = WorkloadSpec::quick("my-pointer-chaser", 0xC0FFEE);
+    spec.category = Category::Integer;
+    spec.target_dynamic = 80_000;
+    spec.working_set_bytes = 8 * 1024 * 1024;
+    spec.stride_bytes = 1024;
+    spec.far_gate_mask = 0; // a far miss every iteration
+    spec.mix.load_far = 2;
+    spec.validate().map_err(ses_types::ConfigError::new)?;
+
+    let run = run_workload(&spec, &PipelineConfig::default())?;
+    let s = run.summary();
+    println!(
+        "{}: IPC {:.2}, SDC AVF {}, DUE AVF {}, dead fraction {:.1}%",
+        spec.name,
+        s.ipc.value(),
+        s.sdc_avf,
+        s.due_avf,
+        run.dead.dead_fraction() * 100.0
+    );
+
+    // --- Part 2: a hand-written program ----------------------------------
+    // Sum the first 1000 integers with a deliberately dead shadow
+    // computation, then print the result.
+    let mut b = ProgramBuilder::new();
+    let r = Reg::new;
+    b.push(Instruction::movi(r(1), 1000)); // counter
+    b.push(Instruction::movi(r(2), 0)); // sum
+    let top = b.new_label();
+    b.bind(top);
+    b.push(Instruction::add(r(2), r(2), r(1)));
+    b.push(Instruction::mul(r(20), r(1), r(1))); // dead: r20 never read
+    b.push(Instruction::addi(r(1), r(1), -1));
+    b.push(Instruction::cmp_lt(Pred::new(1), Reg::ZERO, r(1)));
+    b.branch(Pred::new(1), top);
+    b.push(Instruction::out(r(2)));
+    b.push(Instruction::halt());
+    let program = b.build()?;
+
+    let trace = ses_arch::Emulator::new(&program).run(100_000)?;
+    assert_eq!(trace.output(), &[500_500], "Gauss agrees");
+    let dead = ses_core::DeadMap::analyze(&trace);
+    let result = ses_core::Pipeline::new(PipelineConfig::default()).run(&program, &trace);
+    let avf = ses_core::AvfAnalysis::new(&result, &dead);
+    println!(
+        "hand-written loop: {} instructions, IPC {:.2}, SDC AVF {}, {:.0}% dynamically dead",
+        trace.len(),
+        result.ipc().value(),
+        avf.sdc_avf(),
+        dead.dead_fraction() * 100.0
+    );
+    println!(
+        "the dead shadow multiply is {:.1}% of instructions and every one of its\n\
+         non-destination bits is un-ACE: cheap false-DUE fodder a pi bit suppresses.",
+        dead.dead_fraction() * 100.0
+    );
+    Ok(())
+}

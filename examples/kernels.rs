@@ -1,0 +1,46 @@
+//! AVF across real program shapes: run the hand-written kernel library
+//! (Fibonacci, pointer chase, streaming copy, sieve, bitcount) through the
+//! full stack and compare their vulnerability profiles.
+//!
+//! Run with `cargo run --release --example kernels`.
+
+use ses_core::{AvfAnalysis, DeadMap, Pipeline, PipelineConfig, Table};
+use ses_workloads::kernels;
+
+fn main() -> Result<(), ses_core::SesError> {
+    let mut t = Table::new(vec![
+        "kernel",
+        "dyn instrs",
+        "IPC",
+        "SDC AVF",
+        "DUE AVF",
+        "dead %",
+        "output ok",
+    ]);
+    for k in kernels() {
+        let trace = ses_arch::Emulator::new(&k.program).run(5_000_000)?;
+        let ok = trace.output() == k.expected_output.as_slice();
+        let dead = DeadMap::analyze(&trace);
+        let result = Pipeline::new(PipelineConfig::default()).run(&k.program, &trace);
+        let avf = AvfAnalysis::new(&result, &dead);
+        t.row(vec![
+            k.name.into(),
+            trace.len().to_string(),
+            format!("{:.2}", result.ipc().value()),
+            avf.sdc_avf().to_string(),
+            avf.due_avf().to_string(),
+            format!("{:.1}%", dead.dead_fraction() * 100.0),
+            if ok { "yes" } else { "NO" }.into(),
+        ]);
+        assert!(ok, "{} output mismatch", k.name);
+    }
+    println!("{t}");
+    println!(
+        "Tight dependence chains (fibonacci, bitcount) keep the queue full of\n\
+         live state -- high AVF; the pointer chase stalls on loads with the\n\
+         queue exposed behind them; kernels with almost no dead or neutral\n\
+         instructions have nearly equal SDC and DUE AVFs (little false DUE\n\
+         for the pi machinery to remove)."
+    );
+    Ok(())
+}

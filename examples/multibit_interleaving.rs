@@ -1,0 +1,66 @@
+//! Multi-bit upsets versus parity interleaving (the paper's §2 caveat,
+//! measured): a single particle that flips two *adjacent* cells defeats a
+//! single parity bit — silent corruption returns — unless the physical
+//! layout interleaves cells across parity domains.
+//!
+//! Run with `cargo run --release --example multibit_interleaving`.
+
+use ses_core::{Campaign, CampaignConfig, DetectionModel, Outcome, Table, WorkloadSpec};
+
+fn main() -> Result<(), ses_core::SesError> {
+    let spec = WorkloadSpec::quick("multibit-demo", 99);
+    let injections = 300;
+
+    let runs: [(&str, DetectionModel, bool); 4] = [
+        ("parity, single-bit faults", DetectionModel::Parity { tracking: None }, false),
+        ("parity, double-bit faults", DetectionModel::Parity { tracking: None }, true),
+        (
+            "2-way interleaved parity, double-bit",
+            DetectionModel::InterleavedParity {
+                domains: 2,
+                tracking: None,
+            },
+            true,
+        ),
+        (
+            "4-way interleaved parity, double-bit",
+            DetectionModel::InterleavedParity {
+                domains: 4,
+                tracking: None,
+            },
+            true,
+        ),
+    ];
+
+    let mut t = Table::new(vec!["scheme", "benign", "SDC", "DUE"]);
+    for (name, detection, double_bit) in runs {
+        let report = Campaign::prepare(
+            &spec,
+            CampaignConfig {
+                injections,
+                seed: 4242,
+                detection,
+                double_bit,
+                ..CampaignConfig::default()
+            },
+        )?
+        .run();
+        t.row(vec![
+            name.into(),
+            format!("{:.1}%", report.fraction(Outcome::Benign) * 100.0),
+            format!(
+                "{:.1}%",
+                (report.fraction(Outcome::Sdc) + report.fraction(Outcome::Hang)) * 100.0
+            ),
+            format!("{:.1}%", report.due_avf_estimate() * 100.0),
+        ]);
+    }
+    println!("{t}");
+    println!(
+        "Row 2 is the paper's warning: multi-bit faults turn a parity-\n\
+         protected structure back into an SDC source. Rows 3-4 are the cited\n\
+         defence -- interleaving cells from different parity domains in the\n\
+         physical layout -- which restores fail-stop behaviour."
+    );
+    Ok(())
+}

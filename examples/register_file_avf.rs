@@ -1,0 +1,45 @@
+//! The paper's closing extension: once the π machinery exists, it also
+//! reduces the AVF of other structures — here, the architectural register
+//! file.
+//!
+//! Run with `cargo run --release --example register_file_avf`.
+
+use ses_core::{spec_by_name, synthesize, DeadMap, RegFileAvf, Table};
+
+fn main() -> Result<(), ses_core::SesError> {
+    let spec = spec_by_name("crafty").expect("suite benchmark");
+    let program = synthesize(&spec);
+    let trace = ses_arch::Emulator::new(&program).run(spec.target_dynamic * 4)?;
+    let dead = DeadMap::analyze(&trace);
+    let rf = RegFileAvf::analyze(&trace, &dead);
+
+    println!("benchmark: {} ({} committed instructions)", spec.name, trace.len());
+    println!("register-file AVF (mean over 64 registers): {}", rf.avf());
+    println!(
+        "dynamically dead register definitions: {:.1}% of all defs",
+        rf.dead_def_fraction() * 100.0
+    );
+    println!(
+        "(a per-register pi bit silently absorbs strikes on those dead\n\
+         residencies instead of signalling false DUEs, exactly as it does\n\
+         for the instruction queue)\n"
+    );
+
+    let mut t = Table::new(vec!["rank", "register", "AVF", "valid fraction"]);
+    for (i, (reg, avf)) in rf.ranked().into_iter().take(12).enumerate() {
+        t.row(vec![
+            (i + 1).to_string(),
+            reg.to_string(),
+            avf.to_string(),
+            format!("{:.0}%", rf.reg_valid_fraction(reg) * 100.0),
+        ]);
+    }
+    println!("most-vulnerable architectural registers:\n{t}");
+    println!(
+        "Long-lived values (loop bases, masks, accumulators) dominate: their\n\
+         registers hold ACE state almost permanently, while scratch registers\n\
+         spend most of their time dead -- the same residency argument that\n\
+         drives the instruction-queue results."
+    );
+    Ok(())
+}

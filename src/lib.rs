@@ -1,0 +1,2 @@
+//! Umbrella package for examples and integration tests; see `ses-core`.
+pub use ses_core as core_api;

@@ -1,0 +1,372 @@
+//! `ser-repro` — command-line front end for the soft-error-rate
+//! reproduction suite.
+//!
+//! ```text
+//! ser-repro list
+//! ser-repro suite [--squash l0|l1] [--throttle l0|l1]
+//! ser-repro bench <name> [--squash l0|l1] [--throttle l0|l1]
+//! ser-repro inject <name> [--injections N] [--model none|parity|tracking]
+//! ser-repro pet <name>
+//! ```
+
+use std::process::ExitCode;
+
+use ses_core::{
+    compare_suites, mean, run_suite, run_workload, spec_by_name, suite, Campaign,
+    CampaignConfig, DetectionModel, FalseDueCause, Level, Outcome, PipelineConfig, Table,
+    Technique, TrackingConfig,
+};
+
+fn parse_level(s: &str) -> Result<Level, String> {
+    match s {
+        "l0" | "L0" => Ok(Level::L0),
+        "l1" | "L1" => Ok(Level::L1),
+        "l2" | "L2" => Ok(Level::L2),
+        other => Err(format!("unknown cache level '{other}' (use l0/l1/l2)")),
+    }
+}
+
+/// Applies `--squash` / `--throttle` flags to a pipeline config.
+fn parse_machine(args: &[String]) -> Result<PipelineConfig, String> {
+    let mut cfg = PipelineConfig::default();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--squash" => {
+                let v = it.next().ok_or("--squash needs a level")?;
+                cfg = cfg.with_squash(parse_level(v)?);
+            }
+            "--throttle" => {
+                let v = it.next().ok_or("--throttle needs a level")?;
+                cfg = cfg.with_throttle(parse_level(v)?);
+            }
+            other if other.starts_with("--") => {
+                return Err(format!("unknown flag '{other}'"));
+            }
+            _ => {}
+        }
+    }
+    Ok(cfg)
+}
+
+fn cmd_list() -> Result<(), String> {
+    let mut t = Table::new(vec!["name", "class", "working set", "stride", "miss gate"]);
+    for s in suite() {
+        t.row(vec![
+            s.name.clone(),
+            s.category.label().into(),
+            format!("{} KB", s.working_set_bytes / 1024),
+            format!("{} B", s.stride_bytes),
+            format!("1/{}", s.far_gate_mask + 1),
+        ]);
+    }
+    println!("{t}");
+    Ok(())
+}
+
+fn cmd_suite(args: &[String]) -> Result<(), String> {
+    let cfg = parse_machine(args)?;
+    let rows = run_suite(&cfg).map_err(|e| e.to_string())?;
+    let mut t = Table::new(vec![
+        "bench", "class", "IPC", "SDC AVF", "DUE AVF", "false DUE", "squashes",
+    ]);
+    for r in &rows {
+        t.row(vec![
+            r.name.clone(),
+            r.category.label().into(),
+            format!("{:.2}", r.ipc.value()),
+            r.sdc_avf.to_string(),
+            r.due_avf.to_string(),
+            r.false_due_avf.to_string(),
+            r.squashes.to_string(),
+        ]);
+    }
+    println!("{t}");
+    println!(
+        "averages: IPC {:.2}  SDC AVF {:.1}%  DUE AVF {:.1}%",
+        mean(rows.iter().map(|r| r.ipc.value())),
+        mean(rows.iter().map(|r| r.sdc_avf.percent())),
+        mean(rows.iter().map(|r| r.due_avf.percent())),
+    );
+    Ok(())
+}
+
+fn cmd_bench(name: &str, args: &[String]) -> Result<(), String> {
+    let spec = spec_by_name(name).ok_or_else(|| format!("unknown benchmark '{name}'"))?;
+    let cfg = parse_machine(args)?;
+    let run = run_workload(&spec, &cfg).map_err(|e| e.to_string())?;
+    let s = run.summary();
+
+    println!("== {name} ==");
+    println!(
+        "committed {}  cycles {}  IPC {:.3}  mispredict {:.1}%  squashes {}",
+        s.committed,
+        s.cycles,
+        s.ipc.value(),
+        s.mispredict_ratio * 100.0,
+        s.squashes
+    );
+    println!(
+        "SDC AVF {}   DUE AVF {}   false DUE {}",
+        s.sdc_avf, s.due_avf, s.false_due_avf
+    );
+    let st = s.states;
+    println!(
+        "queue state: idle {:.0}%  unread {:.0}%  un-ACE {:.0}%  ACE {:.0}%",
+        st.idle * 100.0,
+        st.unread * 100.0,
+        st.unace * 100.0,
+        st.ace * 100.0
+    );
+
+    println!("\nfalse-DUE causes:");
+    for c in FalseDueCause::ALL {
+        let v = run.avf.false_due_cause(c);
+        if v > 0 {
+            println!("  {:20?} {v}", c);
+        }
+    }
+
+    println!("\nper-bit-field SDC AVF:");
+    let mut t = Table::new(vec!["field", "bits", "AVF"]);
+    for k in run.avf.avf_by_bit_kind() {
+        t.row(vec![
+            format!("{:?}", k.kind),
+            k.width.to_string(),
+            k.avf.to_string(),
+        ]);
+    }
+    println!("{t}");
+
+    println!("DUE AVF under cumulative tracking:");
+    let mut t = Table::new(vec!["configuration", "DUE AVF"]);
+    t.row(vec!["parity only".into(), run.avf.due_avf().to_string()]);
+    t.row(vec![
+        "pi@commit + anti-pi".into(),
+        run.avf.due_avf_with_tracking(None, &run.dead).to_string(),
+    ]);
+    for (label, tech) in [
+        ("+ PET 512", Technique::Pet(512)),
+        ("+ pi per register", Technique::PiRegister),
+        ("+ pi to store commit", Technique::PiStoreCommit),
+        ("+ pi on memory", Technique::PiMemory),
+    ] {
+        t.row(vec![
+            label.into(),
+            run.avf
+                .due_avf_with_tracking(Some(tech), &run.dead)
+                .to_string(),
+        ]);
+    }
+    println!("{t}");
+
+    // Exposure timeline sparkline.
+    let tl = run.avf.timeline();
+    let peak = tl.iter().map(|p| p.valid).max().unwrap_or(1).max(1);
+    let glyphs = [' ', '.', ':', '-', '=', '+', '*', '#'];
+    let line: String = tl
+        .iter()
+        .map(|p| glyphs[(p.valid * 7 / peak) as usize])
+        .collect();
+    println!("exposure timeline (valid bit-cycles per interval):\n[{line}]");
+    Ok(())
+}
+
+fn cmd_inject(name: &str, args: &[String]) -> Result<(), String> {
+    let spec = spec_by_name(name)
+        .ok_or_else(|| format!("unknown benchmark '{name}'"))?;
+    let mut injections = 300u32;
+    let mut detection = DetectionModel::Parity { tracking: None };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--injections" => {
+                injections = it
+                    .next()
+                    .ok_or("--injections needs a count")?
+                    .parse()
+                    .map_err(|e| format!("bad count: {e}"))?;
+            }
+            "--model" => {
+                detection = match it.next().ok_or("--model needs a value")?.as_str() {
+                    "none" => DetectionModel::None,
+                    "parity" => DetectionModel::Parity { tracking: None },
+                    "tracking" => DetectionModel::Parity {
+                        tracking: Some(TrackingConfig::paper_combined()),
+                    },
+                    other => return Err(format!("unknown model '{other}'")),
+                };
+            }
+            other if other.starts_with("--") => return Err(format!("unknown flag '{other}'")),
+            _ => {}
+        }
+    }
+    let campaign = Campaign::prepare(
+        &spec,
+        CampaignConfig {
+            injections,
+            seed: 2026,
+            detection,
+            ..CampaignConfig::default()
+        },
+    )
+    .map_err(|e| e.to_string())?;
+    let report = campaign.run();
+    print!("{report}");
+    match detection {
+        DetectionModel::None => {
+            let p = report.sdc_avf_estimate();
+            println!(
+                "statistical SDC AVF: {:.1}% +/- {:.1}%",
+                p * 100.0,
+                report.ci95(p) * 100.0
+            );
+        }
+        _ => {
+            let p = report.due_avf_estimate();
+            println!(
+                "statistical DUE AVF: {:.1}% +/- {:.1}%",
+                p * 100.0,
+                report.ci95(p) * 100.0
+            );
+            let _ = Outcome::ALL; // (kept for discoverability in docs)
+        }
+    }
+    Ok(())
+}
+
+fn cmd_pet(name: &str) -> Result<(), String> {
+    let spec = spec_by_name(name).ok_or_else(|| format!("unknown benchmark '{name}'"))?;
+    let run = run_workload(&spec, &PipelineConfig::default()).map_err(|e| e.to_string())?;
+    let mut t = Table::new(vec![
+        "PET entries",
+        "FDD-reg coverage",
+        "FDD(+mem) coverage",
+        "residual false DUE",
+    ]);
+    for size in [32u64, 128, 512, 2048, 8192, 32768] {
+        t.row(vec![
+            size.to_string(),
+            format!("{:.0}%", run.dead.pet_coverage_fdd_reg(size, true) * 100.0),
+            format!("{:.0}%", run.dead.pet_coverage_with_memory(size) * 100.0),
+            run.avf
+                .residual_false_due(Some(Technique::Pet(size)), &run.dead)
+                .to_string(),
+        ]);
+    }
+    println!("{t}");
+    Ok(())
+}
+
+fn cmd_compare(args: &[String]) -> Result<(), String> {
+    let variant = parse_machine(args)?;
+    if variant == PipelineConfig::default() {
+        return Err("compare needs at least one machine flag (e.g. --squash l1)".into());
+    }
+    let rows = compare_suites(&PipelineConfig::default(), &variant).map_err(|e| e.to_string())?;
+    let mut t = Table::new(vec![
+        "bench",
+        "rel IPC",
+        "rel SDC AVF",
+        "rel DUE AVF",
+        "SDC MITF gain",
+        "profitable",
+    ]);
+    for c in &rows {
+        t.row(vec![
+            c.base.name.clone(),
+            format!("{:.3}", c.rel_ipc()),
+            format!("{:.2}", c.rel_sdc()),
+            format!("{:.2}", c.rel_due()),
+            format!("{:.2}x", c.sdc_mitf_gain()),
+            if c.is_profitable() { "yes" } else { "no" }.into(),
+        ]);
+    }
+    println!("{t}");
+    println!(
+        "suite means: rel IPC {:.3}  rel SDC {:.2}  rel DUE {:.2}  MITF gain {:.2}x",
+        mean(rows.iter().map(|c| c.rel_ipc())),
+        mean(rows.iter().map(|c| c.rel_sdc())),
+        mean(rows.iter().map(|c| c.rel_due())),
+        mean(rows.iter().map(|c| c.sdc_mitf_gain())),
+    );
+    Ok(())
+}
+
+fn cmd_run_asm(path: &str) -> Result<(), String> {
+    let source = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let program = ses_isa::assemble(&source).map_err(|e| e.to_string())?;
+    let trace = ses_arch::Emulator::new(&program)
+        .run(10_000_000)
+        .map_err(|e| e.to_string())?;
+    if !trace.halted() {
+        return Err("program did not halt within 10M instructions".into());
+    }
+    println!("{} static, {} dynamic instructions", program.len(), trace.len());
+    println!("output: {:?}", trace.output());
+
+    let dead = ses_core::DeadMap::analyze(&trace);
+    let result = ses_core::Pipeline::new(PipelineConfig::default()).run(&program, &trace);
+    let avf = ses_core::AvfAnalysis::new(&result, &dead);
+    println!(
+        "IPC {:.2}   SDC AVF {}   DUE AVF {}   dead instructions {:.1}%",
+        result.ipc().value(),
+        avf.sdc_avf(),
+        avf.due_avf(),
+        dead.dead_fraction() * 100.0
+    );
+    Ok(())
+}
+
+fn usage() -> &'static str {
+    "usage: ser-repro <command>\n\
+     \n\
+     commands:\n\
+       list                        list the benchmark suite\n\
+       suite [flags]               run all 26 benchmarks, print AVF summary\n\
+       bench <name> [flags]        detailed report for one benchmark\n\
+       inject <name> [options]     fault-injection campaign\n\
+       pet <name>                  PET-buffer size sweep\n\
+       run-asm <file.s>            assemble and analyse a SES-64 program\n\
+       compare [flags]             suite baseline-vs-variant comparison\n\
+     \n\
+     machine flags: --squash l0|l1    --throttle l0|l1\n\
+     inject options: --injections N   --model none|parity|tracking"
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("list") => cmd_list(),
+        Some("suite") => cmd_suite(&args[1..]),
+        Some("bench") => match args.get(1) {
+            Some(name) if !name.starts_with("--") => cmd_bench(name, &args[2..]),
+            _ => Err("bench needs a benchmark name".into()),
+        },
+        Some("inject") => match args.get(1) {
+            Some(name) if !name.starts_with("--") => cmd_inject(name, &args[2..]),
+            _ => Err("inject needs a benchmark name".into()),
+        },
+        Some("pet") => match args.get(1) {
+            Some(name) if !name.starts_with("--") => cmd_pet(name),
+            _ => Err("pet needs a benchmark name".into()),
+        },
+        Some("run-asm") => match args.get(1) {
+            Some(path) => cmd_run_asm(path),
+            None => Err("run-asm needs a source file".into()),
+        },
+        Some("compare") => cmd_compare(&args[1..]),
+        Some("help") | None => {
+            println!("{}", usage());
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command '{other}'\n\n{}", usage())),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,51 @@
+//! The hand-written kernels through the entire stack: verified outputs,
+//! timing, AVF, and technique behaviour on real (non-synthetic) programs.
+
+use ses_arch::Emulator;
+use ses_core::{AvfAnalysis, DeadMap, Level, Pipeline, PipelineConfig, RegFileAvf};
+use ses_workloads::{kernels, list_chase};
+
+#[test]
+fn kernels_flow_through_timing_and_avf() {
+    for k in kernels() {
+        let trace = Emulator::new(&k.program).run(5_000_000).unwrap();
+        assert_eq!(trace.output(), k.expected_output.as_slice(), "{}", k.name);
+        let dead = DeadMap::analyze(&trace);
+        let result = Pipeline::new(PipelineConfig::default()).run(&k.program, &trace);
+        assert_eq!(result.committed, trace.len() as u64, "{}", k.name);
+        let avf = AvfAnalysis::new(&result, &dead);
+        assert!(avf.due_avf().fraction() >= avf.sdc_avf().fraction());
+        let s = avf.state_fractions();
+        assert!((s.idle + s.unread + s.unace + s.ace - 1.0).abs() < 1e-9);
+        // Register-file analysis runs on every kernel too.
+        let rf = RegFileAvf::analyze(&trace, &dead);
+        assert!(rf.avf().fraction() <= 1.0);
+    }
+}
+
+#[test]
+fn squashing_helps_the_pointer_chase() {
+    // The chase misses constantly; squashing should slash its exposure,
+    // like the paper's ammp.
+    let k = list_chase();
+    let trace = Emulator::new(&k.program).run(5_000_000).unwrap();
+    let dead = DeadMap::analyze(&trace);
+    let base_cfg = PipelineConfig {
+        warm_caches: false, // a single walk is all cold misses
+        ..PipelineConfig::default()
+    };
+    let mut sq_cfg = base_cfg.clone().with_squash(Level::L1);
+    sq_cfg.warm_caches = false;
+
+    let base = Pipeline::new(base_cfg).run(&k.program, &trace);
+    let sq = Pipeline::new(sq_cfg).run(&k.program, &trace);
+    let a0 = AvfAnalysis::new(&base, &dead).sdc_avf().fraction();
+    let a1 = AvfAnalysis::new(&sq, &dead).sdc_avf().fraction();
+    assert!(sq.squashes > 10, "every chase step misses");
+    assert!(
+        a1 < a0 * 0.5,
+        "squash must slash chase exposure: {a1:.3} vs {a0:.3}"
+    );
+    // The chase is serialising anyway: IPC cost stays small.
+    assert!(sq.ipc().value() > base.ipc().value() * 0.85);
+}

@@ -1,0 +1,129 @@
+//! Property-based integration tests: randomly parameterised workloads must
+//! flow through the entire stack without violating structural invariants.
+
+use proptest::prelude::*;
+use ses_arch::Emulator;
+use ses_core::{run_workload, AvfAnalysis, DeadMap, PipelineConfig, WorkloadSpec};
+use ses_pipeline::Pipeline;
+use ses_workloads::{synthesize, BlockMix, Category};
+
+fn arb_spec() -> impl Strategy<Value = WorkloadSpec> {
+    (
+        (
+            any::<u64>(),
+            prop_oneof![Just(Category::Integer), Just(Category::FloatingPoint)],
+            1u8..5,  // arith
+            0u8..3,  // load_live
+            0u8..2,  // load_far
+            0u8..2,  // load_deep
+        ),
+        (
+            0u8..2,    // store_live
+            0u8..2,    // dead_chain
+            0u8..8,    // neutral
+            0u8..2,    // branchy
+            0u8..3,    // call
+            10u64..16, // log2 working set
+            prop_oneof![Just(8u64), Just(64), Just(256)],
+        ),
+    )
+        .prop_map(
+            |((seed, category, arith, ll, lf, ld), (sl, dc, neutral, br, call, ws_log2, stride))| {
+                WorkloadSpec {
+                    name: format!("prop-{seed:x}"),
+                    category,
+                    seed,
+                    target_dynamic: 8_000,
+                    mix: BlockMix {
+                        arith,
+                        load_live: ll,
+                        load_far: lf,
+                        load_deep: ld,
+                        load_dead: 1,
+                        store_live: sl,
+                        store_dead: 1,
+                        dead_chain: dc,
+                        dead_slow: 1,
+                        neutral,
+                        predicated: 1,
+                        branchy: br,
+                        call,
+                    },
+                    working_set_bytes: 1 << ws_log2,
+                    stride_bytes: stride,
+                    far_gate_mask: 1,
+                }
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn any_spec_synthesises_runs_and_halts(spec in arb_spec()) {
+        let program = synthesize(&spec);
+        let trace = Emulator::new(&program).run(spec.target_dynamic * 6).unwrap();
+        prop_assert!(trace.halted(), "program must halt");
+        prop_assert!(!trace.output().is_empty(), "program must emit output");
+    }
+
+    #[test]
+    fn timing_commits_exactly_the_trace(spec in arb_spec()) {
+        let program = synthesize(&spec);
+        let trace = Emulator::new(&program).run(spec.target_dynamic * 6).unwrap();
+        let result = Pipeline::new(PipelineConfig::default()).run(&program, &trace);
+        prop_assert_eq!(result.committed, trace.len() as u64);
+        prop_assert!(!result.budget_exhausted);
+        // Retirement can never beat the 6-wide width bound.
+        prop_assert!(result.cycles * 6 >= result.committed);
+    }
+
+    #[test]
+    fn avf_invariants_hold_for_any_spec(spec in arb_spec()) {
+        let run = run_workload(&spec, &PipelineConfig::default()).unwrap();
+        let s = run.avf.state_fractions();
+        prop_assert!((s.idle + s.unread + s.unace + s.ace - 1.0).abs() < 1e-9);
+        prop_assert!(run.avf.due_avf().fraction() >= run.avf.sdc_avf().fraction());
+        prop_assert!(run.avf.due_avf().fraction() <= 1.0);
+        // Dead fraction is a fraction.
+        let df = run.dead.dead_fraction();
+        prop_assert!((0.0..=1.0).contains(&df));
+    }
+
+    #[test]
+    fn dead_analysis_kill_distances_are_sane(spec in arb_spec()) {
+        let program = synthesize(&spec);
+        let trace = Emulator::new(&program).run(spec.target_dynamic * 6).unwrap();
+        let dead = DeadMap::analyze(&trace);
+        for (idx, info) in dead.iter().enumerate() {
+            if let Some(kd) = info.kill_distance {
+                prop_assert!(kd > 0, "kill distance must be positive");
+                prop_assert!(
+                    idx as u64 + kd <= trace.len() as u64,
+                    "kill must land inside the trace"
+                );
+            }
+        }
+        // PET coverage is monotone in capacity.
+        let caps = [16u64, 64, 256, 1024, 4096, 16384];
+        let mut last = 0.0;
+        for c in caps {
+            let cov = dead.pet_coverage_fdd_reg(c, true);
+            prop_assert!(cov + 1e-12 >= last);
+            last = cov;
+        }
+    }
+
+    #[test]
+    fn pet_coverage_never_exceeds_register_pi(spec in arb_spec()) {
+        let run = run_workload(&spec, &PipelineConfig::default()).unwrap();
+        let pet = run.avf.covered_by(ses_core::Technique::Pet(512), &run.dead);
+        let reg = run.avf.covered_by(ses_core::Technique::PiRegister, &run.dead);
+        let store = run.avf.covered_by(ses_core::Technique::PiStoreCommit, &run.dead);
+        let mem = run.avf.covered_by(ses_core::Technique::PiMemory, &run.dead);
+        prop_assert!(pet <= reg && reg <= store && store <= mem);
+        prop_assert!(mem <= run.avf.false_due_avf().fraction().mul_add(run.avf.total_bit_cycles() as f64, 1.0) as u64);
+        let _ = AvfAnalysis::new(&run.result, &run.dead); // reconstructible
+    }
+}

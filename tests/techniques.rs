@@ -1,0 +1,97 @@
+//! Behavioural tests of the paper's two technique families across machine
+//! configurations.
+
+use ses_core::{
+    run_workload, spec_by_name, Level, PipelineConfig, SquashPolicy, Technique, ThrottlePolicy,
+};
+
+#[test]
+fn squash_l0_is_a_superset_of_squash_l1() {
+    // Every L1 miss is also an L0 miss, so the L0 trigger must fire at
+    // least as often and cut exposure at least as much.
+    let spec = spec_by_name("cc").expect("cc in suite");
+    let l1 = run_workload(&spec, &PipelineConfig::default().with_squash(Level::L1)).unwrap();
+    let l0 = run_workload(&spec, &PipelineConfig::default().with_squash(Level::L0)).unwrap();
+    assert!(l0.result.squashes >= l1.result.squashes);
+    assert!(l0.avf.sdc_avf().fraction() <= l1.avf.sdc_avf().fraction() + 0.02);
+    assert!(l0.result.ipc().value() <= l1.result.ipc().value() + 0.01);
+}
+
+#[test]
+fn throttling_reduces_exposure_less_than_squashing() {
+    // Paper §3.1: fetch throttling did not add much beyond squashing; on
+    // its own it reduces exposure, but less than squashing does.
+    let spec = spec_by_name("equake").expect("equake in suite");
+    let base = run_workload(&spec, &PipelineConfig::default()).unwrap();
+    let thr =
+        run_workload(&spec, &PipelineConfig::default().with_throttle(Level::L1)).unwrap();
+    let sq = run_workload(&spec, &PipelineConfig::default().with_squash(Level::L1)).unwrap();
+
+    assert!(thr.result.throttled_cycles > 0, "throttle must engage");
+    assert_eq!(thr.result.squashes, 0);
+    let (b, t, s) = (
+        base.avf.sdc_avf().fraction(),
+        thr.avf.sdc_avf().fraction(),
+        sq.avf.sdc_avf().fraction(),
+    );
+    assert!(t < b, "throttling reduces exposure ({t:.3} vs {b:.3})");
+    assert!(s < t, "squashing reduces exposure more ({s:.3} vs {t:.3})");
+}
+
+#[test]
+fn squash_on_memory_trigger_fires_rarely() {
+    // A Memory-level trigger only fires on accesses that miss L2 entirely.
+    let spec = spec_by_name("gzip").expect("gzip in suite");
+    let l1 = run_workload(&spec, &PipelineConfig::default().with_squash(Level::L1)).unwrap();
+    let mem =
+        run_workload(&spec, &PipelineConfig::default().with_squash(Level::L2)).unwrap();
+    assert!(mem.result.squashes <= l1.result.squashes);
+}
+
+#[test]
+fn policies_default_to_off() {
+    let cfg = PipelineConfig::default();
+    assert_eq!(cfg.squash, SquashPolicy::None);
+    assert_eq!(cfg.throttle, ThrottlePolicy::None);
+    let spec = spec_by_name("mesa").expect("mesa in suite");
+    let run = run_workload(&spec, &cfg).unwrap();
+    assert_eq!(run.result.squashes, 0);
+    assert_eq!(run.result.throttled_cycles, 0);
+}
+
+#[test]
+fn tracking_scopes_are_strictly_ordered_on_real_workloads() {
+    let spec = spec_by_name("vortex").expect("vortex in suite");
+    let run = run_workload(&spec, &PipelineConfig::default()).unwrap();
+    let due = |t| {
+        run.avf
+            .due_avf_with_tracking(Some(t), &run.dead)
+            .fraction()
+    };
+    let parity = run.avf.due_avf().fraction();
+    let commit_only = run.avf.due_avf_with_tracking(None, &run.dead).fraction();
+    let reg = due(Technique::PiRegister);
+    let store = due(Technique::PiStoreCommit);
+    let mem = due(Technique::PiMemory);
+    assert!(commit_only < parity);
+    assert!(reg <= commit_only);
+    assert!(store <= reg);
+    assert!(mem <= store);
+    assert!(
+        (mem - run.avf.true_due_avf().fraction()).abs() < 1e-9,
+        "full tracking reaches the true-DUE floor"
+    );
+}
+
+#[test]
+fn pet_sizes_interpolate_between_nothing_and_register_pi() {
+    let spec = spec_by_name("perlbmk").expect("perlbmk in suite");
+    let run = run_workload(&spec, &PipelineConfig::default()).unwrap();
+    let cov = |t| run.avf.covered_by(t, &run.dead);
+    let c32 = cov(Technique::Pet(32));
+    let c512 = cov(Technique::Pet(512));
+    let c16k = cov(Technique::Pet(16384));
+    let reg = cov(Technique::PiRegister);
+    assert!(c32 <= c512 && c512 <= c16k && c16k <= reg);
+    assert!(c16k > c32, "bigger PET buffers must add coverage");
+}
