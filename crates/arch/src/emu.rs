@@ -96,8 +96,24 @@ impl<'p> Emulator<'p> {
     /// particle strike on an instruction-queue entry reaches architectural
     /// state.
     pub fn run_with_overrides(
-        mut self,
+        self,
         overrides: &HashMap<u64, u64>,
+        max_instrs: u64,
+    ) -> RunOutcome {
+        self.run_overridden(|idx| overrides.get(&idx).copied(), max_instrs)
+    }
+
+    /// Like [`run_with_overrides`](Self::run_with_overrides) but for the
+    /// common case of exactly one corrupted word, avoiding the `HashMap`
+    /// allocation and hashing on every dynamic instruction. This is the
+    /// hot path of the fault-injection replay classifier.
+    pub fn run_with_override(self, trace_idx: u64, word: u64, max_instrs: u64) -> RunOutcome {
+        self.run_overridden(|idx| (idx == trace_idx).then_some(word), max_instrs)
+    }
+
+    fn run_overridden(
+        mut self,
+        override_at: impl Fn(u64) -> Option<u64>,
         max_instrs: u64,
     ) -> RunOutcome {
         let mut steps: u64 = 0;
@@ -108,9 +124,9 @@ impl<'p> Emulator<'p> {
                     reason: format!("fetch outside program image at {pc}"),
                 };
             };
-            let instr = match overrides.get(&self.index) {
+            let instr = match override_at(self.index) {
                 None => original,
-                Some(&word) => match decode(word) {
+                Some(word) => match decode(word) {
                     Ok(i) => i,
                     Err(e) => {
                         return RunOutcome::Crashed {
@@ -403,6 +419,22 @@ mod tests {
             RunOutcome::Completed { output: vec![8] },
             "corrupted immediate must propagate to output"
         );
+    }
+
+    #[test]
+    fn single_override_fast_path_matches_map_path() {
+        let p = Program::new(vec![
+            Instruction::movi(r(1), 7),
+            Instruction::out(r(1)),
+            Instruction::halt(),
+        ]);
+        let corrupted = ses_isa::encode(&Instruction::movi(r(1), 8));
+        let mut ov = HashMap::new();
+        ov.insert(0u64, corrupted);
+        let via_map = Emulator::new(&p).run_with_overrides(&ov, 100);
+        let via_fast = Emulator::new(&p).run_with_override(0, corrupted, 100);
+        assert_eq!(via_map, via_fast);
+        assert_eq!(via_fast, RunOutcome::Completed { output: vec![8] });
     }
 
     #[test]

@@ -1,0 +1,116 @@
+//! Measures the injection-throughput gain of the checkpointed campaign
+//! engine against from-scratch simulation of every fault.
+//!
+//! Both campaigns inject the *same* deterministic fault sequence, so the
+//! outcome reports must be identical — the only difference is whether
+//! each injection re-simulates the fault-free prefix (cycle 0 up to the
+//! strike) or resumes from the nearest pipeline snapshot. The measured
+//! speedup and the engine's internal accounting are written to
+//! `BENCH_campaign.json` at the repository root.
+//!
+//! Run with `cargo bench -p ses-bench --bench campaign_speed`.
+
+use std::time::Instant;
+
+use ses_core::{Campaign, CampaignConfig, DetectionModel, WorkloadSpec};
+
+const INJECTIONS: u32 = 1000;
+
+fn prepare(checkpoint_interval: Option<u64>) -> Campaign {
+    let spec = WorkloadSpec::quick("campaign-speed", 7);
+    let config = CampaignConfig {
+        injections: INJECTIONS,
+        seed: 0xBE,
+        detection: DetectionModel::Parity { tracking: None },
+        checkpoint_interval,
+        ..CampaignConfig::default()
+    };
+    Campaign::prepare(&spec, config).expect("campaign prepare")
+}
+
+fn main() {
+    println!("\n=== Campaign speed: checkpointed vs from-scratch injection ===");
+    println!("({INJECTIONS} injections, parity detection, identical fault sequence)\n");
+
+    let t = Instant::now();
+    let scratch = prepare(Some(0));
+    let scratch_prepare = t.elapsed();
+    let t = Instant::now();
+    let scratch_report = scratch.run();
+    let scratch_wall = t.elapsed();
+
+    let t = Instant::now();
+    let ckpt = prepare(None);
+    let ckpt_prepare = t.elapsed();
+    let t = Instant::now();
+    let ckpt_report = ckpt.run();
+    let ckpt_wall = t.elapsed();
+
+    assert_eq!(
+        scratch_report, ckpt_report,
+        "checkpointed campaign must classify every fault identically"
+    );
+
+    let perf = ckpt_report.perf();
+    let scratch_perf = scratch_report.perf();
+    let speedup = scratch_wall.as_secs_f64() / ckpt_wall.as_secs_f64().max(1e-9);
+
+    println!("baseline cycles:        {}", ckpt.baseline_cycles());
+    println!(
+        "checkpoints:            {} every {} cycles",
+        ckpt.checkpoints(),
+        ckpt.checkpoint_interval()
+    );
+    println!(
+        "from-scratch:           prepare {:>8.3}s  inject {:>8.3}s  ({:>8.0} inj/s)",
+        scratch_prepare.as_secs_f64(),
+        scratch_wall.as_secs_f64(),
+        scratch_perf.injections_per_sec()
+    );
+    println!(
+        "checkpointed:           prepare {:>8.3}s  inject {:>8.3}s  ({:>8.0} inj/s)",
+        ckpt_prepare.as_secs_f64(),
+        ckpt_wall.as_secs_f64(),
+        perf.injections_per_sec()
+    );
+    println!(
+        "cycles simulated:       {} (vs {} from scratch, {:.1}% skipped)",
+        perf.cycles_simulated,
+        scratch_perf.cycles_simulated,
+        perf.skip_fraction() * 100.0
+    );
+    println!(
+        "replays:                {} ({:.1}% memoized/fast-path)",
+        perf.replays,
+        perf.replay_hit_rate() * 100.0
+    );
+    println!("injection speedup:      {speedup:.2}x");
+
+    let json = format!(
+        "{{\n  \"injections\": {},\n  \"baseline_cycles\": {},\n  \"checkpoints\": {},\n  \
+         \"checkpoint_interval\": {},\n  \"scratch_inject_wall_s\": {:.6},\n  \
+         \"checkpointed_inject_wall_s\": {:.6},\n  \"speedup\": {:.3},\n  \
+         \"cycles_simulated_scratch\": {},\n  \"cycles_simulated_checkpointed\": {},\n  \
+         \"cycles_skip_fraction\": {:.4},\n  \"replay_hit_rate\": {:.4}\n}}\n",
+        INJECTIONS,
+        ckpt.baseline_cycles(),
+        ckpt.checkpoints(),
+        ckpt.checkpoint_interval(),
+        scratch_wall.as_secs_f64(),
+        ckpt_wall.as_secs_f64(),
+        speedup,
+        scratch_perf.cycles_simulated,
+        perf.cycles_simulated,
+        perf.skip_fraction(),
+        perf.replay_hit_rate(),
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_campaign.json");
+    std::fs::write(path, &json).expect("write BENCH_campaign.json");
+    println!("\nwrote {path}");
+
+    assert!(
+        speedup >= 3.0,
+        "checkpointed campaign must be at least 3x faster ({speedup:.2}x measured)"
+    );
+    println!("Speedup target (>= 3x) holds.");
+}

@@ -41,12 +41,14 @@ pub use ses_avf::{
     AvfAnalysis, DeadKind, DeadMap, FalseDueCause, KindAvf, RegFileAvf, StateFractions,
     Technique, TimelinePoint,
 };
-pub use ses_faults::{Campaign, CampaignConfig, CampaignReport, DetailedReport, Outcome};
+pub use ses_faults::{
+    Campaign, CampaignConfig, CampaignPerf, CampaignReport, DetailedReport, Outcome,
+};
 pub use ses_mem::Level;
 pub use ses_metrics::{geomean, mean, RatePoint, ReliabilityModel, Table};
 pub use ses_pipeline::{
-    DetectionModel, IssueOrder, PiScope, Pipeline, PipelineConfig, PipelineResult,
-    PredictorKind, SquashPolicy, ThrottlePolicy, TrackingConfig,
+    DetectionModel, FaultSpec, IssueOrder, PiScope, Pipeline, PipelineConfig, PipelineResult,
+    PredictorKind, Snapshot, SquashPolicy, ThrottlePolicy, TrackingConfig,
 };
 pub use ses_types::{Avf, Cycle, Fit, Ipc, Mitf, Mttf, SesError};
 pub use ses_workloads::{spec_by_name, suite, synthesize, Category, TraceMix, WorkloadSpec};

@@ -1,22 +1,32 @@
 //! Campaign orchestration: random strikes, timing-model replay, functional
 //! outcome classification.
+//!
+//! The injection loop is checkpointed: [`Campaign::prepare`] runs the
+//! golden timing simulation once, capturing pipeline [`Snapshot`]s every
+//! `checkpoint_interval` cycles, and each injection then resumes from the
+//! latest snapshot at or before its strike cycle instead of re-simulating
+//! from cycle 0. Functional replays of corrupted words are memoized in a
+//! sharded cache shared across worker threads, so repeated
+//! `(trace position, corrupted word)` coordinates are classified once.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use ses_arch::{Emulator, ExecutionTrace, RunOutcome};
-use ses_isa::Program;
-use ses_isa::{bit_kind, BitKind};
+use ses_isa::{bit_kind, encode, BitKind, Program};
 use ses_pipeline::{
-    DetectionModel, FaultOutcome, FaultSpec, Occupant, Pipeline, PipelineConfig, SuppressReason,
+    DetectionModel, FaultOutcome, FaultSpec, Occupant, Pipeline, PipelineConfig, PipelineResult,
+    Snapshot, SuppressReason,
 };
 use ses_types::{Cycle, SesError};
 use ses_workloads::{synthesize, WorkloadSpec};
 
 use crate::outcome::Outcome;
-use crate::report::CampaignReport;
+use crate::report::{CampaignPerf, CampaignReport};
 
 /// Configuration of a fault-injection campaign.
 #[derive(Debug, Clone)]
@@ -36,6 +46,17 @@ pub struct CampaignConfig {
     /// the failure mode periodic scrubbing defends against). `0` keeps the
     /// strikes simultaneous.
     pub temporal_gap: u64,
+    /// Spacing in cycles between the pipeline snapshots captured during
+    /// [`Campaign::prepare`]. Each injection resumes from the latest
+    /// snapshot at or before its strike cycle, skipping the fault-free
+    /// prefix of the run.
+    ///
+    /// * `None` (default) — automatic: `baseline_cycles / 64`, at least 1
+    ///   (about 64 checkpoints over the run).
+    /// * `Some(0)` — disable checkpointing; every injection simulates
+    ///   from cycle 0.
+    /// * `Some(k)` — capture a snapshot every `k` cycles.
+    pub checkpoint_interval: Option<u64>,
     /// Timing-model configuration.
     pub pipeline: PipelineConfig,
     /// Worker threads (0 = one per available core).
@@ -50,8 +71,79 @@ impl Default for CampaignConfig {
             detection: DetectionModel::None,
             double_bit: false,
             temporal_gap: 0,
+            checkpoint_interval: None,
             pipeline: PipelineConfig::default(),
             threads: 0,
+        }
+    }
+}
+
+/// How many replays a single corrupted functional run produced; memoized
+/// per `(trace position, corrupted word)` so the classifier never runs
+/// the same corrupted emulation twice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Replay {
+    Identical,
+    Different,
+    Crashed,
+    Hang,
+}
+
+const REPLAY_SHARDS: usize = 16;
+
+/// Concurrent memoization cache for replay verdicts, sharded to keep
+/// lock contention off the injection workers' hot path.
+struct ReplayCache {
+    shards: [Mutex<HashMap<(u64, u64), Replay>>; REPLAY_SHARDS],
+}
+
+impl ReplayCache {
+    fn new() -> Self {
+        ReplayCache {
+            shards: std::array::from_fn(|_| Mutex::new(HashMap::new())),
+        }
+    }
+
+    fn shard(&self, key: (u64, u64)) -> &Mutex<HashMap<(u64, u64), Replay>> {
+        let h = (key.0 ^ key.1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        &self.shards[(h >> 60) as usize % REPLAY_SHARDS]
+    }
+
+    fn get(&self, key: (u64, u64)) -> Option<Replay> {
+        self.shard(key).lock().expect("replay shard").get(&key).copied()
+    }
+
+    fn insert(&self, key: (u64, u64), verdict: Replay) {
+        self.shard(key).lock().expect("replay shard").insert(key, verdict);
+    }
+}
+
+/// Monotonic work counters shared by the injection workers.
+#[derive(Default)]
+struct PerfCounters {
+    cycles_simulated: AtomicU64,
+    cycles_skipped: AtomicU64,
+    replays: AtomicU64,
+    replay_cache_hits: AtomicU64,
+    replay_fast_path: AtomicU64,
+}
+
+struct CounterValues {
+    cycles_simulated: u64,
+    cycles_skipped: u64,
+    replays: u64,
+    replay_cache_hits: u64,
+    replay_fast_path: u64,
+}
+
+impl PerfCounters {
+    fn values(&self) -> CounterValues {
+        CounterValues {
+            cycles_simulated: self.cycles_simulated.load(Ordering::Relaxed),
+            cycles_skipped: self.cycles_skipped.load(Ordering::Relaxed),
+            replays: self.replays.load(Ordering::Relaxed),
+            replay_cache_hits: self.replay_cache_hits.load(Ordering::Relaxed),
+            replay_fast_path: self.replay_fast_path.load(Ordering::Relaxed),
         }
     }
 }
@@ -60,18 +152,31 @@ impl Default for CampaignConfig {
 pub struct Campaign {
     program: Program,
     golden: ExecutionTrace,
+    /// Encoded golden instruction word per dynamic-trace index, for the
+    /// replay fast path (corrupted word == golden word is trivially
+    /// identical).
+    golden_words: Vec<u64>,
     baseline_cycles: u64,
+    pipeline: Pipeline,
+    snapshots: Vec<Snapshot>,
+    checkpoint_interval: u64,
+    replay_budget: u64,
+    prepare_wall: Duration,
+    replay_cache: ReplayCache,
+    counters: PerfCounters,
     config: CampaignConfig,
 }
 
 impl Campaign {
-    /// Synthesises the workload, produces the golden trace, and measures
-    /// the fault-free cycle count (the strike-cycle sampling range).
+    /// Synthesises the workload, produces the golden trace, measures the
+    /// fault-free cycle count (the strike-cycle sampling range), and
+    /// captures the pipeline checkpoints injections resume from.
     ///
     /// # Errors
     ///
     /// Propagates functional-emulation failures of the golden run.
     pub fn prepare(spec: &WorkloadSpec, config: CampaignConfig) -> Result<Self, SesError> {
+        let start = Instant::now();
         let program = synthesize(spec);
         let golden = Emulator::new(&program).run(spec.target_dynamic * 4)?;
         if !golden.halted() {
@@ -80,11 +185,40 @@ impl Campaign {
                 limit: spec.target_dynamic * 4,
             });
         }
-        let baseline = Pipeline::new(config.pipeline.clone()).run(&program, &golden);
+        let golden_words = golden.entries().iter().map(|d| encode(&d.instr)).collect();
+        let pipeline = Pipeline::new(config.pipeline.clone());
+        // Snapshots are captured under the campaign's detection model:
+        // detection state (PET buffer, π-bit tracker) evolves even before
+        // a strike, and a resumed run must carry the same pre-strike
+        // detector state a from-scratch run would have.
+        let (baseline, snapshots, checkpoint_interval) = match config.checkpoint_interval {
+            Some(0) => (pipeline.run(&program, &golden), Vec::new(), 0),
+            Some(k) => {
+                let (result, snaps) =
+                    pipeline.run_with_snapshots(&program, &golden, config.detection, k);
+                (result, snaps, k)
+            }
+            None => {
+                let plain = pipeline.run(&program, &golden);
+                let k = (plain.cycles / 64).max(1);
+                let (result, snaps) =
+                    pipeline.run_with_snapshots(&program, &golden, config.detection, k);
+                (result, snaps, k)
+            }
+        };
+        let replay_budget = (golden.len() as u64).saturating_mul(4).max(10_000);
         Ok(Campaign {
+            baseline_cycles: baseline.cycles,
             program,
             golden,
-            baseline_cycles: baseline.cycles,
+            golden_words,
+            pipeline,
+            snapshots,
+            checkpoint_interval,
+            replay_budget,
+            prepare_wall: start.elapsed(),
+            replay_cache: ReplayCache::new(),
+            counters: PerfCounters::default(),
             config,
         })
     }
@@ -99,9 +233,66 @@ impl Campaign {
         self.baseline_cycles
     }
 
-    /// Runs the campaign, parallelised across worker threads.
+    /// Resolved snapshot spacing in cycles (0 when checkpointing is
+    /// disabled).
+    pub fn checkpoint_interval(&self) -> u64 {
+        self.checkpoint_interval
+    }
+
+    /// Number of pipeline checkpoints captured during prepare.
+    pub fn checkpoints(&self) -> usize {
+        self.snapshots.len()
+    }
+
+    /// Runs the campaign, parallelised across worker threads. Outcomes
+    /// are aggregated in injection-index order regardless of thread
+    /// scheduling, and the report carries [`CampaignPerf`] accounting.
     pub fn run(&self) -> CampaignReport {
-        let n = self.config.injections;
+        let (outcomes, perf) = self.timed_run(|i| self.inject_one(i));
+        let mut report = CampaignReport::from_outcomes(outcomes);
+        report.set_perf(perf);
+        report
+    }
+
+    /// Runs the campaign recording each fault's coordinates alongside its
+    /// outcome, for positional analyses (which bits and which queue slots
+    /// carry the vulnerability). Parallelised like [`Campaign::run`],
+    /// with samples in deterministic injection-index order.
+    pub fn run_detailed(&self) -> DetailedReport {
+        let (samples, perf) = self.timed_run(|i| (self.fault_for(i), self.inject_one(i)));
+        DetailedReport { samples, perf }
+    }
+
+    /// Times the injection phase of a campaign execution and attributes
+    /// the counter deltas it produced.
+    fn timed_run<T: Send>(&self, f: impl Fn(u32) -> T + Sync) -> (Vec<T>, CampaignPerf) {
+        let before = self.counters.values();
+        let start = Instant::now();
+        let results = self.parallel_map(self.config.injections, f);
+        let inject_wall = start.elapsed();
+        let after = self.counters.values();
+        let perf = CampaignPerf {
+            prepare_wall: self.prepare_wall,
+            inject_wall,
+            injections: self.config.injections,
+            checkpoints: self.snapshots.len(),
+            checkpoint_interval: self.checkpoint_interval,
+            cycles_simulated: after.cycles_simulated - before.cycles_simulated,
+            cycles_skipped: after.cycles_skipped - before.cycles_skipped,
+            replays: after.replays - before.replays,
+            replay_cache_hits: after.replay_cache_hits - before.replay_cache_hits,
+            replay_fast_path: after.replay_fast_path - before.replay_fast_path,
+        };
+        (results, perf)
+    }
+
+    /// Maps `f` over `0..n` on the configured worker threads, returning
+    /// results in index order.
+    fn parallel_map<T, F>(&self, n: u32, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(u32) -> T + Sync,
+    {
         let threads = if self.config.threads == 0 {
             std::thread::available_parallelism()
                 .map(|p| p.get())
@@ -109,12 +300,17 @@ impl Campaign {
         } else {
             self.config.threads
         };
+        let threads = threads.min(n as usize).max(1);
+        if threads == 1 {
+            return (0..n).map(f).collect();
+        }
         let next = AtomicU32::new(0);
-        let mut outcomes: Vec<Vec<Outcome>> = Vec::new();
+        let mut indexed: Vec<(u32, T)> = Vec::with_capacity(n as usize);
         crossbeam::thread::scope(|scope| {
             let mut handles = Vec::new();
-            for _ in 0..threads.min(n as usize).max(1) {
+            for _ in 0..threads {
                 let next = &next;
+                let f = &f;
                 handles.push(scope.spawn(move |_| {
                     let mut local = Vec::new();
                     loop {
@@ -122,29 +318,18 @@ impl Campaign {
                         if i >= n {
                             break;
                         }
-                        local.push(self.inject_one(i));
+                        local.push((i, f(i)));
                     }
                     local
                 }));
             }
             for h in handles {
-                outcomes.push(h.join().expect("injection worker panicked"));
+                indexed.extend(h.join().expect("injection worker panicked"));
             }
         })
         .expect("campaign scope");
-        CampaignReport::from_outcomes(outcomes.into_iter().flatten())
-    }
-
-    /// Runs the campaign recording each fault's coordinates alongside its
-    /// outcome, for positional analyses (which bits and which queue slots
-    /// carry the vulnerability).
-    pub fn run_detailed(&self) -> DetailedReport {
-        let mut samples = Vec::with_capacity(self.config.injections as usize);
-        for i in 0..self.config.injections {
-            let fault = self.fault_for(i);
-            samples.push((fault, self.inject_one(i)));
-        }
-        DetailedReport { samples }
+        indexed.sort_unstable_by_key(|&(i, _)| i);
+        indexed.into_iter().map(|(_, v)| v).collect()
     }
 
     /// The deterministic fault coordinates for injection `i`.
@@ -163,14 +348,60 @@ impl Campaign {
     /// Injects the `i`-th fault (deterministic in `seed` and `i`).
     pub fn inject_one(&self, i: u32) -> Outcome {
         let fault = self.fault_for(i);
-        let result = Pipeline::new(self.config.pipeline.clone()).run_with_fault(
-            &self.program,
-            &self.golden,
-            Some(fault),
-            self.config.detection,
-        );
-        let outcome = result.fault.expect("fault run resolves an outcome");
-        self.classify(outcome)
+        // In debug/test builds, periodically cross-check a resumed run
+        // against a from-scratch run (the checkpoint determinism guard).
+        let verify = cfg!(debug_assertions) && i.is_multiple_of(8);
+        self.classify(self.fault_outcome(fault, verify))
+    }
+
+    /// Injects a caller-chosen fault instead of the seeded sequence,
+    /// classified exactly like [`Campaign::inject_one`].
+    pub fn inject_spec(&self, fault: FaultSpec) -> Outcome {
+        self.classify(self.fault_outcome(fault, cfg!(debug_assertions)))
+    }
+
+    /// Runs the timing model for one fault, resuming from the latest
+    /// checkpoint at or before the strike when one exists.
+    fn fault_outcome(&self, fault: FaultSpec, verify: bool) -> FaultOutcome {
+        let result = match self.snapshot_for(fault.cycle) {
+            Some(snap) => {
+                let resumed = self.pipeline.resume(&self.program, &self.golden, snap, Some(fault));
+                self.counters
+                    .cycles_skipped
+                    .fetch_add(snap.cycle().as_u64(), Ordering::Relaxed);
+                self.counters.cycles_simulated.fetch_add(
+                    resumed.cycles.saturating_sub(snap.cycle().as_u64()),
+                    Ordering::Relaxed,
+                );
+                if verify {
+                    let scratch = self.run_from_scratch(fault);
+                    assert_eq!(
+                        resumed, scratch,
+                        "checkpoint resume diverged from a from-scratch run for {fault:?}"
+                    );
+                }
+                resumed
+            }
+            None => {
+                let result = self.run_from_scratch(fault);
+                self.counters
+                    .cycles_simulated
+                    .fetch_add(result.cycles, Ordering::Relaxed);
+                result
+            }
+        };
+        result.fault.expect("fault run resolves an outcome")
+    }
+
+    fn run_from_scratch(&self, fault: FaultSpec) -> PipelineResult {
+        self.pipeline
+            .run_with_fault(&self.program, &self.golden, Some(fault), self.config.detection)
+    }
+
+    /// The latest snapshot taken at or before `strike`, if any.
+    fn snapshot_for(&self, strike: Cycle) -> Option<&Snapshot> {
+        let idx = self.snapshots.partition_point(|s| s.cycle() <= strike);
+        idx.checked_sub(1).map(|i| &self.snapshots[i])
     }
 
     fn classify(&self, outcome: FaultOutcome) -> Outcome {
@@ -216,12 +447,25 @@ impl Campaign {
     }
 
     /// Re-runs the functional emulator with the corrupted word substituted
-    /// at the given dynamic position and compares outputs.
+    /// at the given dynamic position and compares outputs. Verdicts are
+    /// memoized; a corrupted word equal to the golden word short-circuits
+    /// to `Identical` without emulating at all.
     fn replay(&self, trace_idx: u64, corrupted_word: u64) -> Replay {
-        let mut overrides = HashMap::new();
-        overrides.insert(trace_idx, corrupted_word);
-        let budget = (self.golden.len() as u64).saturating_mul(4).max(10_000);
-        match Emulator::new(&self.program).run_with_overrides(&overrides, budget) {
+        self.counters.replays.fetch_add(1, Ordering::Relaxed);
+        if self.golden_words.get(trace_idx as usize) == Some(&corrupted_word) {
+            self.counters.replay_fast_path.fetch_add(1, Ordering::Relaxed);
+            return Replay::Identical;
+        }
+        let key = (trace_idx, corrupted_word);
+        if let Some(verdict) = self.replay_cache.get(key) {
+            self.counters.replay_cache_hits.fetch_add(1, Ordering::Relaxed);
+            return verdict;
+        }
+        let verdict = match Emulator::new(&self.program).run_with_override(
+            trace_idx,
+            corrupted_word,
+            self.replay_budget,
+        ) {
             RunOutcome::Completed { output } => {
                 if output == self.golden.output() {
                     Replay::Identical
@@ -231,21 +475,17 @@ impl Campaign {
             }
             RunOutcome::Crashed { .. } => Replay::Crashed,
             RunOutcome::TimedOut => Replay::Hang,
-        }
+        };
+        self.replay_cache.insert(key, verdict);
+        verdict
     }
-}
-
-enum Replay {
-    Identical,
-    Different,
-    Crashed,
-    Hang,
 }
 
 /// Campaign results with per-sample fault coordinates.
 #[derive(Debug, Clone)]
 pub struct DetailedReport {
     samples: Vec<(FaultSpec, Outcome)>,
+    perf: CampaignPerf,
 }
 
 impl DetailedReport {
@@ -254,9 +494,16 @@ impl DetailedReport {
         &self.samples
     }
 
+    /// Performance accounting for the run that produced these samples.
+    pub fn perf(&self) -> CampaignPerf {
+        self.perf
+    }
+
     /// Collapses into a plain [`CampaignReport`].
     pub fn summary(&self) -> CampaignReport {
-        CampaignReport::from_outcomes(self.samples.iter().map(|(_, o)| *o))
+        let mut report = CampaignReport::from_outcomes(self.samples.iter().map(|(_, o)| *o));
+        report.set_perf(self.perf);
+        report
     }
 
     /// Empirical failure probability per instruction-word field kind: for
@@ -427,8 +674,10 @@ mod tests {
     fn scrubbing_restores_fail_stop_under_temporal_doubles() {
         let spec = WorkloadSpec::quick("scrub", 77);
         let run = |scrub_period: u64| {
-            let mut pipeline = PipelineConfig::default();
-            pipeline.scrub_period = scrub_period;
+            let pipeline = PipelineConfig {
+                scrub_period,
+                ..PipelineConfig::default()
+            };
             Campaign::prepare(
                 &spec,
                 CampaignConfig {
@@ -474,5 +723,52 @@ mod tests {
         let a: Vec<Outcome> = (0..10).map(|i| c.inject_one(i)).collect();
         let b: Vec<Outcome> = (0..10).map(|i| c.inject_one(i)).collect();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn checkpointing_does_not_change_outcomes() {
+        let spec = WorkloadSpec::quick("ckpt-unit", 13);
+        let base = CampaignConfig {
+            injections: 30,
+            seed: 11,
+            detection: DetectionModel::Parity { tracking: None },
+            threads: 2,
+            ..CampaignConfig::default()
+        };
+        let scratch = Campaign::prepare(
+            &spec,
+            CampaignConfig {
+                checkpoint_interval: Some(0),
+                ..base.clone()
+            },
+        )
+        .unwrap();
+        let ckpt = Campaign::prepare(&spec, base).unwrap();
+        assert_eq!(ckpt.checkpoint_interval(), (ckpt.baseline_cycles() / 64).max(1));
+        assert!(ckpt.checkpoints() > 0);
+        assert_eq!(scratch.checkpoints(), 0);
+        let scratch_report = scratch.run();
+        let ckpt_report = ckpt.run();
+        assert_eq!(scratch_report, ckpt_report);
+        assert_eq!(scratch_report.perf().cycles_skipped, 0);
+        assert!(ckpt_report.perf().cycles_skipped > 0);
+    }
+
+    #[test]
+    fn detailed_run_is_parallel_yet_ordered() {
+        let spec = WorkloadSpec::quick("ordered", 3);
+        let config = CampaignConfig {
+            injections: 24,
+            seed: 4,
+            detection: DetectionModel::None,
+            threads: 4,
+            ..CampaignConfig::default()
+        };
+        let c = Campaign::prepare(&spec, config).unwrap();
+        let detailed = c.run_detailed();
+        let faults: Vec<FaultSpec> = detailed.samples().iter().map(|(f, _)| *f).collect();
+        let expected: Vec<FaultSpec> = (0..24).map(|i| c.fault_for(i)).collect();
+        assert_eq!(faults, expected, "samples must be in injection order");
+        assert_eq!(detailed.summary(), c.run());
     }
 }

@@ -49,4 +49,4 @@ mod report;
 
 pub use campaign::{Campaign, CampaignConfig, DetailedReport};
 pub use outcome::Outcome;
-pub use report::CampaignReport;
+pub use report::{CampaignPerf, CampaignReport};

@@ -2,14 +2,91 @@
 
 use std::collections::HashMap;
 use std::fmt;
+use std::time::Duration;
 
 use crate::outcome::Outcome;
 
+/// Performance accounting for one campaign execution: wall-clock per
+/// phase plus cycle- and replay-level counters. Quantifies how much work
+/// the checkpointed injection engine and the replay memoization cache
+/// actually saved.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CampaignPerf {
+    /// Wall-clock time of `Campaign::prepare` (golden runs plus snapshot
+    /// capture).
+    pub prepare_wall: Duration,
+    /// Wall-clock time of the injection phase.
+    pub inject_wall: Duration,
+    /// Injections performed.
+    pub injections: u32,
+    /// Pipeline snapshots captured during prepare.
+    pub checkpoints: usize,
+    /// Snapshot spacing in cycles (0 = checkpointing disabled).
+    pub checkpoint_interval: u64,
+    /// Timing-model cycles actually simulated across all injections.
+    pub cycles_simulated: u64,
+    /// Timing-model cycles skipped by resuming from checkpoints instead
+    /// of simulating from cycle 0.
+    pub cycles_skipped: u64,
+    /// Functional replays requested by the outcome classifier.
+    pub replays: u64,
+    /// Replays answered from the memoization cache.
+    pub replay_cache_hits: u64,
+    /// Replays short-circuited because the corrupted word equalled the
+    /// golden word (trivially identical).
+    pub replay_fast_path: u64,
+}
+
+impl CampaignPerf {
+    /// Fraction of classifier replay requests answered without running
+    /// the functional emulator (golden-word fast path or memoization
+    /// cache).
+    pub fn replay_hit_rate(&self) -> f64 {
+        if self.replays == 0 {
+            0.0
+        } else {
+            (self.replay_cache_hits + self.replay_fast_path) as f64 / self.replays as f64
+        }
+    }
+
+    /// Fraction of timing-model work avoided by resuming from
+    /// checkpoints.
+    pub fn skip_fraction(&self) -> f64 {
+        let total = self.cycles_simulated + self.cycles_skipped;
+        if total == 0 {
+            0.0
+        } else {
+            self.cycles_skipped as f64 / total as f64
+        }
+    }
+
+    /// Injection throughput over the injection phase (0 when unmeasured).
+    pub fn injections_per_sec(&self) -> f64 {
+        let secs = self.inject_wall.as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.injections as f64 / secs
+        }
+    }
+}
+
 /// Aggregated results of a fault-injection campaign.
+///
+/// `PartialEq` compares outcome counts only — [`CampaignPerf`] is
+/// execution metadata, so a checkpointed campaign and a from-scratch
+/// campaign over the same faults compare equal.
 #[derive(Debug, Clone, Default)]
 pub struct CampaignReport {
     counts: HashMap<Outcome, u32>,
     total: u32,
+    perf: CampaignPerf,
+}
+
+impl PartialEq for CampaignReport {
+    fn eq(&self, other: &Self) -> bool {
+        self.total == other.total && Outcome::ALL.iter().all(|&o| self.count(o) == other.count(o))
+    }
 }
 
 impl CampaignReport {
@@ -63,12 +140,36 @@ impl CampaignReport {
         1.96 * (p * (1.0 - p) / self.total as f64).sqrt()
     }
 
-    /// Merges another report into this one.
+    /// Performance accounting for the run that produced this report
+    /// (all-zero for reports built directly from outcomes).
+    pub fn perf(&self) -> CampaignPerf {
+        self.perf
+    }
+
+    pub(crate) fn set_perf(&mut self, perf: CampaignPerf) {
+        self.perf = perf;
+    }
+
+    /// Merges another report into this one. Additive performance
+    /// counters are summed; checkpoint geometry is taken from whichever
+    /// report has one.
     pub fn merge(&mut self, other: &CampaignReport) {
         for (o, c) in &other.counts {
             *self.counts.entry(*o).or_insert(0) += c;
         }
         self.total += other.total;
+        self.perf.prepare_wall += other.perf.prepare_wall;
+        self.perf.inject_wall += other.perf.inject_wall;
+        self.perf.injections += other.perf.injections;
+        self.perf.cycles_simulated += other.perf.cycles_simulated;
+        self.perf.cycles_skipped += other.perf.cycles_skipped;
+        self.perf.replays += other.perf.replays;
+        self.perf.replay_cache_hits += other.perf.replay_cache_hits;
+        self.perf.replay_fast_path += other.perf.replay_fast_path;
+        if self.perf.checkpoint_interval == 0 {
+            self.perf.checkpoint_interval = other.perf.checkpoint_interval;
+            self.perf.checkpoints = other.perf.checkpoints;
+        }
     }
 }
 
@@ -80,6 +181,16 @@ impl fmt::Display for CampaignReport {
             if c > 0 {
                 writeln!(f, "  {:<18} {:>6}  ({:.1}%)", o.label(), c, self.fraction(o) * 100.0)?;
             }
+        }
+        if self.perf.inject_wall > Duration::ZERO {
+            writeln!(
+                f,
+                "  perf: {:.2}s inject ({:.0}/s), {:.1}% cycles skipped, {:.1}% replays memoized",
+                self.perf.inject_wall.as_secs_f64(),
+                self.perf.injections_per_sec(),
+                self.perf.skip_fraction() * 100.0,
+                self.perf.replay_hit_rate() * 100.0,
+            )?;
         }
         Ok(())
     }
@@ -126,6 +237,63 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.total(), 3);
         assert_eq!(a.count(Outcome::Sdc), 2);
+    }
+
+    #[test]
+    fn equality_ignores_perf_metadata() {
+        let mut a = CampaignReport::from_outcomes([Outcome::Sdc, Outcome::Benign]);
+        let b = CampaignReport::from_outcomes([Outcome::Benign, Outcome::Sdc]);
+        a.set_perf(CampaignPerf {
+            inject_wall: Duration::from_secs(3),
+            cycles_skipped: 1000,
+            ..CampaignPerf::default()
+        });
+        assert_eq!(a, b, "perf counters must not affect report equality");
+        let c = CampaignReport::from_outcomes([Outcome::Sdc, Outcome::Sdc]);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn perf_derived_rates() {
+        let perf = CampaignPerf {
+            inject_wall: Duration::from_secs(2),
+            injections: 100,
+            cycles_simulated: 250,
+            cycles_skipped: 750,
+            replays: 10,
+            replay_cache_hits: 3,
+            replay_fast_path: 2,
+            ..CampaignPerf::default()
+        };
+        assert!((perf.skip_fraction() - 0.75).abs() < 1e-12);
+        assert!((perf.replay_hit_rate() - 0.5).abs() < 1e-12);
+        assert!((perf.injections_per_sec() - 50.0).abs() < 1e-12);
+        assert_eq!(CampaignPerf::default().skip_fraction(), 0.0);
+        assert_eq!(CampaignPerf::default().replay_hit_rate(), 0.0);
+        assert_eq!(CampaignPerf::default().injections_per_sec(), 0.0);
+    }
+
+    #[test]
+    fn merge_sums_perf_counters() {
+        let mut a = CampaignReport::from_outcomes([Outcome::Sdc]);
+        a.set_perf(CampaignPerf {
+            cycles_simulated: 10,
+            replays: 1,
+            ..CampaignPerf::default()
+        });
+        let mut b = CampaignReport::from_outcomes([Outcome::Benign]);
+        b.set_perf(CampaignPerf {
+            cycles_simulated: 5,
+            replays: 2,
+            checkpoints: 4,
+            checkpoint_interval: 100,
+            ..CampaignPerf::default()
+        });
+        a.merge(&b);
+        assert_eq!(a.perf().cycles_simulated, 15);
+        assert_eq!(a.perf().replays, 3);
+        assert_eq!(a.perf().checkpoint_interval, 100);
+        assert_eq!(a.perf().checkpoints, 4);
     }
 
     #[test]

@@ -3,7 +3,7 @@
 use serde::{Deserialize, Serialize};
 use ses_types::{Addr, ConfigError};
 
-use crate::cache::{Cache, CacheConfig, LookupOutcome};
+use crate::cache::{Cache, CacheConfig, CacheSnapshot, LookupOutcome};
 
 /// Which level serviced (or missed in) an access.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
@@ -221,6 +221,32 @@ impl Hierarchy {
         self.l1.reset();
         self.l2.reset();
     }
+
+    /// Captures a compact image of every level's contents and statistics.
+    pub fn snapshot(&self) -> HierarchySnapshot {
+        HierarchySnapshot {
+            l0: self.l0.snapshot(),
+            l1: self.l1.snapshot(),
+            l2: self.l2.snapshot(),
+        }
+    }
+
+    /// Restores every level from a snapshot of an identically configured
+    /// hierarchy.
+    pub fn restore(&mut self, snapshot: &HierarchySnapshot) {
+        self.l0.restore(&snapshot.l0);
+        self.l1.restore(&snapshot.l1);
+        self.l2.restore(&snapshot.l2);
+    }
+}
+
+/// Compact image of the whole hierarchy (contents and statistics), from
+/// [`Hierarchy::snapshot`].
+#[derive(Debug, Clone)]
+pub struct HierarchySnapshot {
+    l0: CacheSnapshot,
+    l1: CacheSnapshot,
+    l2: CacheSnapshot,
 }
 
 #[cfg(test)]
@@ -299,6 +325,24 @@ mod tests {
         cfg.l1.block_bytes = 48;
         let err = Hierarchy::try_new(cfg).unwrap_err();
         assert!(err.to_string().contains("L1"));
+    }
+
+    #[test]
+    fn hierarchy_snapshot_restore_roundtrips() {
+        let mut h = Hierarchy::new(HierarchyConfig::default());
+        for i in 0..32u64 {
+            h.access(Addr::new(i * 64), AccessKind::Load);
+        }
+        let snap = h.snapshot();
+        let stats_before = (h.stats(Level::L0), h.stats(Level::L1), h.stats(Level::L2));
+        h.access(Addr::new(0x9_0000), AccessKind::Store);
+        h.restore(&snap);
+        assert_eq!(
+            (h.stats(Level::L0), h.stats(Level::L1), h.stats(Level::L2)),
+            stats_before
+        );
+        assert!(h.probe(Addr::new(0), Level::L0));
+        assert!(!h.probe(Addr::new(0x9_0000), Level::L2));
     }
 
     #[test]

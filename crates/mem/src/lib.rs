@@ -30,6 +30,8 @@ mod cache;
 mod hierarchy;
 mod pi;
 
-pub use cache::{Cache, CacheConfig, LookupOutcome};
-pub use hierarchy::{AccessKind, AccessResult, Hierarchy, HierarchyConfig, Level, LevelStats};
+pub use cache::{Cache, CacheConfig, CacheSnapshot, LookupOutcome};
+pub use hierarchy::{
+    AccessKind, AccessResult, Hierarchy, HierarchyConfig, HierarchySnapshot, Level, LevelStats,
+};
 pub use pi::PiDirectory;

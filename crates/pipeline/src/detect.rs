@@ -261,6 +261,7 @@ impl FaultOutcome {
     }
 }
 
+#[derive(Debug, Clone)]
 struct Struck {
     corruption: Corruption,
     /// Set once parity has seen the mismatch (entry read post-strike).
@@ -270,6 +271,7 @@ struct Struck {
 }
 
 /// Tracks one injected fault through the pipeline.
+#[derive(Debug, Clone)]
 pub struct Detector {
     model: DetectionModel,
     injected: bool,

@@ -15,16 +15,18 @@
 //! 6. **inject** — a pending fault flips its bit once the injection cycle
 //!    is reached.
 
+use std::sync::Arc;
+
 use ses_arch::{DynInstr, ExecutionTrace};
 use ses_isa::{Opcode, Program};
-use ses_mem::{AccessKind, Hierarchy, Level};
+use ses_mem::{AccessKind, Hierarchy, HierarchySnapshot, Level};
 use ses_types::{Cycle, Pred, Reg, SeqNo};
 
 use crate::config::{IssueOrder, PipelineConfig, SquashPolicy, ThrottlePolicy};
 use crate::detect::{DetectionModel, Detector, FaultSpec};
-use crate::frontend::{FetchedInstr, FrontEnd};
+use crate::frontend::{FetchedInstr, FrontEnd, FrontEndState};
 use crate::iq::{InstructionQueue, IqEntry};
-use crate::residency::{Occupant, ResidencyEnd};
+use crate::residency::{Occupant, Residency, ResidencyEnd};
 use crate::result::PipelineResult;
 
 /// A scheduled misprediction recovery.
@@ -74,6 +76,108 @@ impl Pipeline {
         detection: DetectionModel,
     ) -> PipelineResult {
         Engine::new(&self.config, program, trace, fault, detection).run()
+    }
+
+    /// Runs the fault-free timing model under `detection`, capturing a
+    /// resumable [`Snapshot`] every `interval` cycles (cycle 0 included).
+    ///
+    /// The detection model does not change timing in the absence of a
+    /// fault, but its bookkeeping (e.g. the PET buffer's commit log) is
+    /// part of the captured state — pass the same model the fault runs
+    /// resumed from these snapshots will use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval` is zero.
+    pub fn run_with_snapshots(
+        &self,
+        program: &Program,
+        trace: &ExecutionTrace,
+        detection: DetectionModel,
+        interval: u64,
+    ) -> (PipelineResult, Vec<Snapshot>) {
+        assert!(interval > 0, "snapshot interval must be positive");
+        Engine::new(&self.config, program, trace, None, detection).run_capturing(interval)
+    }
+
+    /// Resumes a run from `snapshot`, injecting `fault`. With
+    /// `fault = None` this replays the tail of the capture run
+    /// bit-identically (useful for validation).
+    ///
+    /// The program, trace, and pipeline configuration must match the ones
+    /// the snapshot was captured with; the fault, if any, must not strike
+    /// before the snapshot cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fault` strikes before the snapshot cycle.
+    pub fn resume(
+        &self,
+        program: &Program,
+        trace: &ExecutionTrace,
+        snapshot: &Snapshot,
+        fault: Option<FaultSpec>,
+    ) -> PipelineResult {
+        if let Some(f) = fault {
+            assert!(
+                f.cycle >= snapshot.cycle,
+                "fault at {:?} strikes before snapshot cycle {:?}",
+                f.cycle,
+                snapshot.cycle
+            );
+        }
+        Engine::from_snapshot(&self.config, program, trace, snapshot, fault)
+            .run_core(snapshot.cycle, 0)
+            .0
+    }
+}
+
+/// A resumable image of the timing engine at the top of a cycle.
+///
+/// Captured by [`Pipeline::run_with_snapshots`] during a fault-free run
+/// and consumed by [`Pipeline::resume`], which replays the remainder of
+/// the run bit-identically with an optional fault injected at or after
+/// the snapshot cycle. Snapshots are cheap: cache contents are stored
+/// compactly (occupied lines only) and the capture run's residency log is
+/// shared across all its snapshots rather than copied into each.
+#[derive(Clone)]
+pub struct Snapshot {
+    cycle: Cycle,
+    frontend: FrontEndState,
+    /// Queue image with an emptied residency log; `residency_prefix`
+    /// locates the pre-snapshot log inside `residency_log`.
+    iq: InstructionQueue,
+    residency_prefix: usize,
+    /// The capture run's full residency log, shared by all its snapshots
+    /// (stitched in after the capture run finishes).
+    residency_log: Arc<Vec<Residency>>,
+    hierarchy: HierarchySnapshot,
+    reg_ready: [Cycle; Reg::COUNT],
+    pred_ready: [Cycle; Pred::COUNT],
+    committed: u64,
+    recovery: Option<Recovery>,
+    miss_outstanding_until: Cycle,
+    stall_until: Cycle,
+    squashes: u64,
+    squashed_instrs: u64,
+    detector: Detector,
+}
+
+impl Snapshot {
+    /// The cycle at whose top this snapshot was captured; a resumed run
+    /// re-executes from exactly this cycle.
+    pub fn cycle(&self) -> Cycle {
+        self.cycle
+    }
+}
+
+impl std::fmt::Debug for Snapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Snapshot")
+            .field("cycle", &self.cycle)
+            .field("committed", &self.committed)
+            .field("residency_prefix", &self.residency_prefix)
+            .finish_non_exhaustive()
     }
 }
 
@@ -128,17 +232,66 @@ impl<'a> Engine<'a> {
         }
     }
 
+    /// Rebuilds an engine mid-run from a snapshot, with an optional fault
+    /// still to inject. The caller continues with
+    /// [`Engine::run_core`]`(snapshot.cycle, 0)`.
+    fn from_snapshot(
+        cfg: &'a PipelineConfig,
+        program: &'a Program,
+        trace: &'a ExecutionTrace,
+        snapshot: &Snapshot,
+        fault: Option<FaultSpec>,
+    ) -> Self {
+        let mut engine = Engine::new(cfg, program, trace, fault, DetectionModel::None);
+        engine.frontend.restore_state(&snapshot.frontend);
+        engine.iq = snapshot.iq.clone_without_residencies();
+        engine
+            .iq
+            .set_residencies(snapshot.residency_log[..snapshot.residency_prefix].to_vec());
+        engine.hierarchy.restore(&snapshot.hierarchy);
+        engine.reg_ready = snapshot.reg_ready;
+        engine.pred_ready = snapshot.pred_ready;
+        engine.committed = snapshot.committed;
+        engine.recovery = snapshot.recovery;
+        engine.miss_outstanding_until = snapshot.miss_outstanding_until;
+        engine.stall_until = snapshot.stall_until;
+        engine.squashes = snapshot.squashes;
+        engine.squashed_instrs = snapshot.squashed_instrs;
+        engine.detector = snapshot.detector.clone();
+        engine
+    }
+
     fn run(mut self) -> PipelineResult {
         if self.cfg.warm_caches {
             self.warm_caches();
         }
-        let mut now = Cycle::ZERO;
+        self.run_core(Cycle::ZERO, 0).0
+    }
+
+    fn run_capturing(mut self, interval: u64) -> (PipelineResult, Vec<Snapshot>) {
+        if self.cfg.warm_caches {
+            self.warm_caches();
+        }
+        self.run_core(Cycle::ZERO, interval)
+    }
+
+    /// The cycle loop, from `start` (inclusive), capturing a snapshot at
+    /// the top of every cycle divisible by `interval` (0 = never).
+    /// Warm-up, if any, must have happened already: a resumed run's
+    /// restored hierarchy is post-warm-up state and must not be warmed
+    /// again.
+    fn run_core(mut self, start: Cycle, interval: u64) -> (PipelineResult, Vec<Snapshot>) {
+        let mut snapshots = Vec::new();
+        let mut now = start;
         let total = self.trace.len() as u64;
         let mut budget_exhausted = false;
         while self.committed < total && !self.stop_early {
             if now.as_u64() >= self.cfg.max_cycles {
                 budget_exhausted = true;
                 break;
+            }
+            if interval > 0 && now.as_u64().is_multiple_of(interval) {
+                snapshots.push(self.capture(now));
             }
             self.step_recovery(now);
             self.step_retire(now);
@@ -160,11 +313,19 @@ impl<'a> Engine<'a> {
         } else {
             None
         };
-        PipelineResult {
+        let occupied_cycle_sum = self.iq.occupied_cycle_sum();
+        let residencies = self.iq.into_residencies();
+        if !snapshots.is_empty() {
+            let log = Arc::new(residencies.clone());
+            for snap in &mut snapshots {
+                snap.residency_log = Arc::clone(&log);
+            }
+        }
+        let result = PipelineResult {
             cycles: now.as_u64(),
             committed: self.committed,
             iq_capacity: self.cfg.iq_entries,
-            occupied_cycle_sum: self.iq.occupied_cycle_sum(),
+            occupied_cycle_sum,
             predictions,
             mispredictions,
             squashes: self.squashes,
@@ -176,7 +337,29 @@ impl<'a> Engine<'a> {
             l2: self.hierarchy.stats(Level::L2),
             fault: fault_outcome,
             budget_exhausted,
-            residencies: self.iq.into_residencies(),
+            residencies,
+        };
+        (result, snapshots)
+    }
+
+    /// Captures the engine's full state at the top of cycle `now`.
+    fn capture(&self, now: Cycle) -> Snapshot {
+        Snapshot {
+            cycle: now,
+            frontend: self.frontend.snapshot_state(),
+            iq: self.iq.clone_without_residencies(),
+            residency_prefix: self.iq.residencies_len(),
+            residency_log: Arc::new(Vec::new()), // stitched in after the run
+            hierarchy: self.hierarchy.snapshot(),
+            reg_ready: self.reg_ready,
+            pred_ready: self.pred_ready,
+            committed: self.committed,
+            recovery: self.recovery,
+            miss_outstanding_until: self.miss_outstanding_until,
+            stall_until: self.stall_until,
+            squashes: self.squashes,
+            squashed_instrs: self.squashed_instrs,
+            detector: self.detector.clone(),
         }
     }
 
@@ -474,7 +657,7 @@ impl<'a> Engine<'a> {
         // Background scrubbing: a periodic parity sweep over the queue.
         if self.cfg.scrub_period > 0
             && now.as_u64() > 0
-            && now.as_u64() % self.cfg.scrub_period == 0
+            && now.as_u64().is_multiple_of(self.cfg.scrub_period)
         {
             let slots: Vec<usize> = self.iq.age_order().to_vec();
             for slot in slots {
@@ -512,5 +695,87 @@ impl<'a> Engine<'a> {
                 });
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ses_arch::Emulator;
+    use ses_workloads::{synthesize, WorkloadSpec};
+
+    fn quick_run() -> (Program, ExecutionTrace) {
+        let spec = WorkloadSpec::quick("engine-snap", 17);
+        let program = synthesize(&spec);
+        let trace = Emulator::new(&program).run(100_000).unwrap();
+        (program, trace)
+    }
+
+    #[test]
+    fn capture_run_matches_plain_run() {
+        let (program, trace) = quick_run();
+        let pipeline = Pipeline::new(PipelineConfig::default());
+        let plain = pipeline.run(&program, &trace);
+        let (captured, snapshots) =
+            pipeline.run_with_snapshots(&program, &trace, DetectionModel::None, 500);
+        assert_eq!(plain, captured, "snapshot capture must not perturb timing");
+        assert!(!snapshots.is_empty());
+        assert_eq!(snapshots[0].cycle(), Cycle::ZERO);
+        assert!(snapshots.windows(2).all(|w| w[0].cycle() < w[1].cycle()));
+    }
+
+    #[test]
+    fn faultless_resume_replays_tail_bit_identically() {
+        let (program, trace) = quick_run();
+        let pipeline = Pipeline::new(PipelineConfig::default());
+        let (golden, snapshots) =
+            pipeline.run_with_snapshots(&program, &trace, DetectionModel::None, 700);
+        for snap in [&snapshots[0], &snapshots[snapshots.len() / 2], snapshots.last().unwrap()]
+        {
+            let resumed = pipeline.resume(&program, &trace, snap, None);
+            assert_eq!(
+                golden, resumed,
+                "resume from cycle {:?} must reproduce the golden run",
+                snap.cycle()
+            );
+        }
+    }
+
+    #[test]
+    fn resumed_fault_run_matches_from_scratch() {
+        let (program, trace) = quick_run();
+        let pipeline = Pipeline::new(PipelineConfig::default());
+        let detection = DetectionModel::Parity { tracking: None };
+        let (golden, snapshots) =
+            pipeline.run_with_snapshots(&program, &trace, detection, 400);
+        let last_cycle = golden.cycles.saturating_sub(1);
+        for (strike, slot, bit) in [
+            (0u64, 0usize, 5u32),
+            (401, 3, 17),
+            (800, 12, 63),
+            (last_cycle, 1, 30),
+        ] {
+            let fault = FaultSpec::single(Cycle::new(strike), slot, bit);
+            let scratch = pipeline.run_with_fault(&program, &trace, Some(fault), detection);
+            let idx = snapshots.partition_point(|s| s.cycle() <= fault.cycle);
+            let snap = &snapshots[idx - 1];
+            let resumed = pipeline.resume(&program, &trace, snap, Some(fault));
+            assert_eq!(
+                scratch, resumed,
+                "fault at cycle {strike} slot {slot} bit {bit} diverged"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "strikes before")]
+    fn resume_rejects_pre_snapshot_faults() {
+        let (program, trace) = quick_run();
+        let pipeline = Pipeline::new(PipelineConfig::default());
+        let (_, snapshots) =
+            pipeline.run_with_snapshots(&program, &trace, DetectionModel::None, 600);
+        let late = snapshots.last().unwrap();
+        let fault = FaultSpec::single(Cycle::ZERO, 0, 0);
+        pipeline.resume(&program, &trace, late, Some(fault));
     }
 }

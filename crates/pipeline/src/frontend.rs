@@ -266,6 +266,55 @@ impl<'a> FrontEnd<'a> {
             self.predictor.mispredictions() + self.stats.ras_mispredictions,
         )
     }
+
+    /// Captures the front end's mutable state (everything except the
+    /// program/trace references and configuration-derived constants).
+    pub(crate) fn snapshot_state(&self) -> FrontEndState {
+        FrontEndState {
+            predictor: self.predictor.clone(),
+            cursor: self.cursor,
+            wrong_pc: self.wrong_pc,
+            wrong_path_active: self.wrong_path_active,
+            pipe: self.pipe.clone(),
+            resume_at: self.resume_at,
+            throttled: self.throttled,
+            next_seq: self.next_seq,
+            ras: self.ras.clone(),
+            stats: self.stats,
+        }
+    }
+
+    /// Restores state captured by [`Self::snapshot_state`]. The front end
+    /// must have been built with the same configuration, program, and
+    /// trace as the captured one.
+    pub(crate) fn restore_state(&mut self, state: &FrontEndState) {
+        self.predictor = state.predictor.clone();
+        self.cursor = state.cursor;
+        self.wrong_pc = state.wrong_pc;
+        self.wrong_path_active = state.wrong_path_active;
+        self.pipe = state.pipe.clone();
+        self.resume_at = state.resume_at;
+        self.throttled = state.throttled;
+        self.next_seq = state.next_seq;
+        self.ras = state.ras.clone();
+        self.stats = state.stats;
+    }
+}
+
+/// Lifetime-free image of the front end's mutable state, stored inside a
+/// pipeline checkpoint.
+#[derive(Debug, Clone)]
+pub(crate) struct FrontEndState {
+    predictor: Gshare,
+    cursor: usize,
+    wrong_pc: Option<Addr>,
+    wrong_path_active: bool,
+    pipe: VecDeque<FetchedInstr>,
+    resume_at: Cycle,
+    throttled: bool,
+    next_seq: SeqNo,
+    ras: Vec<Addr>,
+    stats: FrontEndStats,
 }
 
 #[cfg(test)]

@@ -243,6 +243,28 @@ impl InstructionQueue {
     pub fn into_residencies(self) -> Vec<Residency> {
         self.residencies
     }
+
+    /// Number of residency records logged so far.
+    pub(crate) fn residencies_len(&self) -> usize {
+        self.residencies.len()
+    }
+
+    /// Replaces the residency log (checkpoint resume seeds the pre-strike
+    /// prefix here so a resumed run yields the complete log).
+    pub(crate) fn set_residencies(&mut self, residencies: Vec<Residency>) {
+        self.residencies = residencies;
+    }
+
+    /// Clones the live queue state without copying the residency log
+    /// (checkpoint capture shares the log across snapshots instead).
+    pub(crate) fn clone_without_residencies(&self) -> InstructionQueue {
+        InstructionQueue {
+            slots: self.slots.clone(),
+            order: self.order.clone(),
+            residencies: Vec::new(),
+            occupied_cycle_sum: self.occupied_cycle_sum,
+        }
+    }
 }
 
 #[cfg(test)]

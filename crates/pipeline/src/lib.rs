@@ -52,7 +52,7 @@ pub use detect::{
     parity_detects, Corruption, DetectionModel, Detector, FaultOutcome, FaultSpec,
     SuppressReason, TrackingConfig,
 };
-pub use engine::Pipeline;
+pub use engine::{Pipeline, Snapshot};
 pub use frontend::{FetchedInstr, FrontEnd, FrontEndStats};
 pub use iq::{InstructionQueue, IqEntry};
 pub use pet::{PetBuffer, PetEntry, PetVerdict};

@@ -7,7 +7,11 @@ use crate::detect::FaultOutcome;
 use crate::residency::Residency;
 
 /// Everything a timing run produces.
-#[derive(Debug)]
+///
+/// `PartialEq` compares every field (including the full residency log):
+/// two results are equal only if the runs were bit-identical. The
+/// checkpoint/resume machinery uses this as its determinism guard.
+#[derive(Debug, PartialEq)]
 pub struct PipelineResult {
     /// Total simulated cycles.
     pub cycles: u64,

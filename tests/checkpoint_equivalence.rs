@@ -1,0 +1,82 @@
+//! The checkpointed injection engine is an optimisation, not a model
+//! change: every fault must classify identically whether the timing run
+//! starts at cycle 0 or resumes from the nearest pipeline snapshot.
+
+use ses_core::{
+    Campaign, CampaignConfig, Cycle, DetectionModel, FaultSpec, TrackingConfig, WorkloadSpec,
+};
+
+fn campaign_pair(detection: DetectionModel, injections: u32) -> (Campaign, Campaign) {
+    let spec = WorkloadSpec::quick("ckpt-equiv", 23);
+    let base = CampaignConfig {
+        injections,
+        seed: 41,
+        detection,
+        threads: 2,
+        ..CampaignConfig::default()
+    };
+    let scratch = Campaign::prepare(
+        &spec,
+        CampaignConfig {
+            checkpoint_interval: Some(0),
+            ..base.clone()
+        },
+    )
+    .expect("scratch campaign");
+    let ckpt = Campaign::prepare(&spec, base).expect("checkpointed campaign");
+    (scratch, ckpt)
+}
+
+#[test]
+fn boundary_strikes_classify_identically() {
+    let (scratch, ckpt) = campaign_pair(DetectionModel::Parity { tracking: None }, 1);
+    let k = ckpt.checkpoint_interval();
+    assert!(k > 0, "auto interval must enable checkpointing");
+    let last = ckpt.baseline_cycles() - 1;
+    // Strike cycles straddling the checkpoint grid: the very first cycle,
+    // both sides of the first snapshot boundary, the middle, and the last
+    // simulated cycle.
+    let cycles = [0, 1, k - 1, k, k + 1, last / 2, last];
+    let coords = [(0usize, 0u32), (5, 17), (31, 63)];
+    for cycle in cycles {
+        for (slot, bit) in coords {
+            let fault = FaultSpec::single(Cycle::new(cycle), slot, bit);
+            assert_eq!(
+                scratch.inject_spec(fault),
+                ckpt.inject_spec(fault),
+                "fault at cycle {cycle} slot {slot} bit {bit} must classify identically"
+            );
+        }
+    }
+}
+
+#[test]
+fn full_campaigns_agree_across_detection_models() {
+    let models = [
+        DetectionModel::None,
+        DetectionModel::Parity { tracking: None },
+        DetectionModel::Parity {
+            tracking: Some(TrackingConfig::paper_combined()),
+        },
+    ];
+    for detection in models {
+        let (scratch, ckpt) = campaign_pair(detection, 40);
+        let scratch_report = scratch.run();
+        let ckpt_report = ckpt.run();
+        assert_eq!(
+            scratch_report, ckpt_report,
+            "reports must match under {detection:?}"
+        );
+        assert_eq!(
+            scratch.run_detailed().samples(),
+            ckpt.run_detailed().samples(),
+            "per-fault samples must match under {detection:?}"
+        );
+        assert_eq!(scratch_report.perf().cycles_skipped, 0);
+        assert!(
+            ckpt_report.perf().cycles_skipped > 0,
+            "checkpointed campaign must actually skip work"
+        );
+        assert!(ckpt_report.perf().checkpoints > 0);
+    }
+}
