@@ -54,6 +54,37 @@ pub struct KindAvf {
     pub avf: Avf,
 }
 
+/// Exact integer bit-cycle decomposition of one run's queue state.
+///
+/// Every simulated (bit × cycle) falls into exactly one of the four
+/// classes, so `ace + unace (summed) + unread + idle == total` — the
+/// conservation invariant locked in by the property suite. The float
+/// [`StateFractions`] view is derived from these integers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BitCycleDecomposition {
+    /// Total bit-cycles simulated (cycles × entries × 64).
+    pub total: u64,
+    /// Exposed ACE bit-cycles (the SDC / true-DUE population).
+    pub ace: u64,
+    /// ACE bit-cycles attributed to each instruction-word field kind,
+    /// indexed by [`ses_isa::BitKind::ALL`] order.
+    pub ace_by_kind: [u64; 7],
+    /// Exposed un-ACE bit-cycles by cause, indexed by
+    /// [`FalseDueCause::ALL`] order (the false-DUE population).
+    pub unace: [u64; 8],
+    /// Valid-but-unread bit-cycles (Ex-ACE window plus never-read).
+    pub unread: u64,
+    /// Bit-cycles with no valid occupant.
+    pub idle: u64,
+}
+
+impl BitCycleDecomposition {
+    /// Total un-ACE exposed bit-cycles.
+    pub fn unace_total(&self) -> u64 {
+        self.unace.iter().sum()
+    }
+}
+
 /// Aggregated AVF analysis of one timing run.
 #[derive(Debug, Clone)]
 pub struct AvfAnalysis {
@@ -149,6 +180,21 @@ impl AvfAnalysis {
     /// Total bit-cycles simulated (cycles × entries × 64 bits).
     pub fn total_bit_cycles(&self) -> u64 {
         self.total_bit_cycles
+    }
+
+    /// The exact integer bit-cycle decomposition behind every AVF this
+    /// analysis reports.
+    pub fn decomposition(&self) -> BitCycleDecomposition {
+        let valid = self.bits.valid_total();
+        debug_assert!(valid <= self.total_bit_cycles, "valid exceeds total");
+        BitCycleDecomposition {
+            total: self.total_bit_cycles,
+            ace: self.bits.ace,
+            ace_by_kind: self.bits.ace_by_kind,
+            unace: self.bits.unace,
+            unread: self.bits.unread,
+            idle: self.total_bit_cycles.saturating_sub(valid),
+        }
     }
 
     /// The SDC AVF of the unprotected queue: ACE bit-cycles over total.

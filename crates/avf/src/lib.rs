@@ -41,6 +41,8 @@ mod dead;
 mod regfile;
 
 pub use ace::{classify, FalseDueCause, ResidencyBits};
-pub use avf::{AvfAnalysis, KindAvf, StateFractions, Technique, TimelinePoint};
+pub use avf::{
+    AvfAnalysis, BitCycleDecomposition, KindAvf, StateFractions, Technique, TimelinePoint,
+};
 pub use dead::{DeadInfo, DeadKind, DeadMap};
 pub use regfile::RegFileAvf;

@@ -13,8 +13,46 @@
 use std::time::Instant;
 
 use ses_core::{Campaign, CampaignConfig, DetectionModel, WorkloadSpec};
+use ses_pipeline::{DetectionModel as PipelineDetection, Pipeline, PipelineConfig};
 
 const INJECTIONS: u32 = 1000;
+
+/// Best-of-N wall time of `f` (min damps scheduler noise).
+fn best_of<R>(n: usize, mut f: impl FnMut() -> R) -> f64 {
+    (0..n)
+        .map(|_| {
+            let t = Instant::now();
+            std::hint::black_box(f());
+            t.elapsed().as_secs_f64()
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+/// Measures the cost of the per-stage telemetry collectors relative to an
+/// uninstrumented timing run. The collectors are branch-on-None when off
+/// and a handful of counter adds per cycle when on, so the ratio must stay
+/// within the 5 % budget.
+fn telemetry_overhead() -> (f64, f64, f64) {
+    let spec = WorkloadSpec::quick("telemetry-overhead", 7);
+    let program = ses_core::synthesize(&spec);
+    let trace = ses_arch::Emulator::new(&program)
+        .run(spec.target_dynamic * 4)
+        .expect("golden trace");
+    let pipeline = Pipeline::new(PipelineConfig::default());
+    // Warm up both paths once before timing.
+    let base_result = pipeline.run(&program, &trace);
+    let (instr_result, _) =
+        pipeline.run_instrumented(&program, &trace, PipelineDetection::None, 1024);
+    assert_eq!(
+        base_result.cycles, instr_result.cycles,
+        "instrumentation must not change timing behaviour"
+    );
+    let off = best_of(7, || pipeline.run(&program, &trace));
+    let on = best_of(7, || {
+        pipeline.run_instrumented(&program, &trace, PipelineDetection::None, 1024)
+    });
+    (off, on, on / off.max(1e-12))
+}
 
 fn prepare(checkpoint_interval: Option<u64>) -> Campaign {
     let spec = WorkloadSpec::quick("campaign-speed", 7);
@@ -86,12 +124,20 @@ fn main() {
     );
     println!("injection speedup:      {speedup:.2}x");
 
+    let (telemetry_off, telemetry_on, telemetry_ratio) = telemetry_overhead();
+    println!(
+        "telemetry overhead:     off {:.4}s  full {:.4}s  ratio {:.3}x",
+        telemetry_off, telemetry_on, telemetry_ratio
+    );
+
     let json = format!(
         "{{\n  \"injections\": {},\n  \"baseline_cycles\": {},\n  \"checkpoints\": {},\n  \
          \"checkpoint_interval\": {},\n  \"scratch_inject_wall_s\": {:.6},\n  \
          \"checkpointed_inject_wall_s\": {:.6},\n  \"speedup\": {:.3},\n  \
          \"cycles_simulated_scratch\": {},\n  \"cycles_simulated_checkpointed\": {},\n  \
-         \"cycles_skip_fraction\": {:.4},\n  \"replay_hit_rate\": {:.4}\n}}\n",
+         \"cycles_skip_fraction\": {:.4},\n  \"replay_hit_rate\": {:.4},\n  \
+         \"telemetry_off_wall_s\": {:.6},\n  \"telemetry_full_wall_s\": {:.6},\n  \
+         \"telemetry_overhead_ratio\": {:.4}\n}}\n",
         INJECTIONS,
         ckpt.baseline_cycles(),
         ckpt.checkpoints(),
@@ -103,6 +149,9 @@ fn main() {
         perf.cycles_simulated,
         perf.skip_fraction(),
         perf.replay_hit_rate(),
+        telemetry_off,
+        telemetry_on,
+        telemetry_ratio,
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_campaign.json");
     std::fs::write(path, &json).expect("write BENCH_campaign.json");
@@ -113,4 +162,11 @@ fn main() {
         "checkpointed campaign must be at least 3x faster ({speedup:.2}x measured)"
     );
     println!("Speedup target (>= 3x) holds.");
+
+    assert!(
+        telemetry_ratio <= 1.05,
+        "full telemetry must cost at most 5% ({:.1}% measured)",
+        (telemetry_ratio - 1.0) * 100.0
+    );
+    println!("Telemetry overhead target (<= 5%) holds.");
 }

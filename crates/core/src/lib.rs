@@ -30,10 +30,11 @@
 mod compare;
 mod run;
 mod suite_runner;
+pub mod telemetry;
 
 pub use compare::{compare_suites, Comparison};
 pub use run::{run_workload, BenchSummary, TechniqueCoverage, WorkloadRun};
-pub use suite_runner::{for_each_workload, run_suite};
+pub use suite_runner::{for_each_workload, run_suite, run_suite_with};
 
 // Re-export the vocabulary a downstream user needs, so `ses-core` is a
 // one-stop dependency.
@@ -46,6 +47,7 @@ pub use ses_faults::{
 };
 pub use ses_mem::Level;
 pub use ses_metrics::{geomean, mean, RatePoint, ReliabilityModel, Table};
+pub use ses_metrics::{JsonValue, TelemetryLevel, SCHEMA_VERSION};
 pub use ses_pipeline::{
     DetectionModel, FaultSpec, IssueOrder, PiScope, Pipeline, PipelineConfig, PipelineResult,
     PredictorKind, Snapshot, SquashPolicy, ThrottlePolicy, TrackingConfig,

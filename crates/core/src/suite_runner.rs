@@ -15,13 +15,37 @@ use crate::run::{run_workload, BenchSummary, WorkloadRun};
 ///
 /// Returns the first workload failure encountered.
 pub fn run_suite(pipeline: &PipelineConfig) -> Result<Vec<BenchSummary>, SesError> {
+    run_suite_with(pipeline, 0, |_, run| run.summary())
+}
+
+/// [`run_suite`] with an explicit worker count and a per-workload
+/// projection.
+///
+/// `threads == 0` means "one per available core". The projection maps
+/// each finished [`WorkloadRun`] (plus its suite index) to whatever the
+/// caller wants to keep — a summary row, a telemetry record, or both —
+/// and results come back in suite order regardless of which worker
+/// finished first, so any thread count yields identical output.
+///
+/// # Errors
+///
+/// Returns the first workload failure encountered.
+pub fn run_suite_with<T: Send>(
+    pipeline: &PipelineConfig,
+    threads: usize,
+    project: impl Fn(usize, WorkloadRun) -> T + Sync,
+) -> Result<Vec<T>, SesError> {
     let specs = suite();
-    let results: Mutex<Vec<(usize, BenchSummary)>> = Mutex::new(Vec::new());
+    let results: Mutex<Vec<(usize, T)>> = Mutex::new(Vec::new());
     let errors: Mutex<Vec<SesError>> = Mutex::new(Vec::new());
-    let threads = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(1)
-        .min(specs.len());
+    let threads = if threads == 0 {
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+    } else {
+        threads
+    }
+    .min(specs.len());
     let next = std::sync::atomic::AtomicUsize::new(0);
 
     std::thread::scope(|scope| {
@@ -30,7 +54,7 @@ pub fn run_suite(pipeline: &PipelineConfig) -> Result<Vec<BenchSummary>, SesErro
                 let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 let Some(spec) = specs.get(i) else { break };
                 match run_workload(spec, pipeline) {
-                    Ok(run) => results.lock().unwrap().push((i, run.summary())),
+                    Ok(run) => results.lock().unwrap().push((i, project(i, run))),
                     Err(e) => errors.lock().unwrap().push(e),
                 }
             });

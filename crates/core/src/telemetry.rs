@@ -1,0 +1,359 @@
+//! Run-artifact builders: schema-versioned JSON documents for single
+//! runs, suite sweeps, and fault-injection campaigns.
+//!
+//! Every artifact starts with the same header (`schema_version`,
+//! `artifact`, `telemetry`) and contains only deterministic quantities at
+//! [`TelemetryLevel::Summary`]: outcome counts, exact bit-cycle
+//! decompositions, IPCs, histograms — all pure functions of the workload
+//! and configuration, byte-identical across runs and thread counts.
+//! Wall-clock timings and scheduling-dependent counters (replay cache
+//! hits) appear only at [`TelemetryLevel::Full`], because they
+//! legitimately vary run to run and would poison golden files.
+
+use std::io::Write as _;
+use std::path::Path;
+
+use ses_avf::FalseDueCause;
+use ses_faults::{DetailedReport, Outcome};
+use ses_metrics::telemetry::{JsonValue, TelemetryLevel, SCHEMA_VERSION};
+use ses_pipeline::{LifetimeHistogram, PipelineConfig, StageCounters};
+
+use crate::run::{BenchSummary, WorkloadRun};
+
+/// The common artifact preamble.
+fn header(artifact: &str, level: TelemetryLevel) -> JsonValue {
+    let mut doc = JsonValue::object();
+    doc.set("schema_version", SCHEMA_VERSION)
+        .set("artifact", artifact)
+        .set("telemetry", level.label());
+    doc
+}
+
+/// Describes the machine configuration fields that shape the results.
+pub fn machine_value(cfg: &PipelineConfig) -> JsonValue {
+    let mut m = JsonValue::object();
+    m.set("width", cfg.width)
+        .set("iq_entries", cfg.iq_entries)
+        .set("frontend_depth", cfg.frontend_depth)
+        .set("issue_order", format!("{:?}", cfg.issue_order))
+        .set("squash", format!("{:?}", cfg.squash))
+        .set("throttle", format!("{:?}", cfg.throttle));
+    m
+}
+
+/// One suite row as a JSON record.
+pub fn summary_value(s: &BenchSummary) -> JsonValue {
+    let mut row = JsonValue::object();
+    row.set("name", s.name.as_str())
+        .set("category", s.category.label())
+        .set("committed", s.committed)
+        .set("cycles", s.cycles)
+        .set("ipc", s.ipc.value())
+        .set("sdc_avf", s.sdc_avf.fraction())
+        .set("due_avf", s.due_avf.fraction())
+        .set("false_due_avf", s.false_due_avf.fraction())
+        .set("squashes", s.squashes)
+        .set("mispredict_ratio", s.mispredict_ratio)
+        .set("wrong_path_fetched", s.wrong_path_fetched);
+    let mut states = JsonValue::object();
+    states
+        .set("idle", s.states.idle)
+        .set("unread", s.states.unread)
+        .set("unace", s.states.unace)
+        .set("ace", s.states.ace);
+    row.set("states", states);
+    let c = &s.coverage;
+    let mut coverage = JsonValue::object();
+    coverage
+        .set("total_false", c.total_false)
+        .set("pi_commit", c.pi_commit)
+        .set("anti_pi", c.anti_pi)
+        .set("pet512", c.pet512)
+        .set("pi_register", c.pi_register)
+        .set("pi_store", c.pi_store)
+        .set("pi_memory", c.pi_memory);
+    row.set("coverage", coverage);
+    row
+}
+
+/// The full-suite artifact: one record per workload in suite order, plus
+/// suite means. `details` (from [`workload_detail`]) ride along per
+/// workload when the telemetry level asked for them; pass an empty slice
+/// otherwise.
+pub fn suite_artifact(
+    cfg: &PipelineConfig,
+    rows: &[BenchSummary],
+    details: &[JsonValue],
+    level: TelemetryLevel,
+) -> JsonValue {
+    assert!(
+        details.is_empty() || details.len() == rows.len(),
+        "details must be absent or one per row"
+    );
+    let mut doc = header("suite", level);
+    doc.set("machine", machine_value(cfg));
+    let workloads: Vec<JsonValue> = rows
+        .iter()
+        .enumerate()
+        .map(|(i, r)| {
+            let mut row = summary_value(r);
+            if let Some(d) = details.get(i) {
+                row.set("detail", d.clone());
+            }
+            row
+        })
+        .collect();
+    doc.set("workloads", workloads);
+    let mut means = JsonValue::object();
+    means
+        .set(
+            "ipc",
+            ses_metrics::mean(rows.iter().map(|r| r.ipc.value())),
+        )
+        .set(
+            "sdc_avf",
+            ses_metrics::mean(rows.iter().map(|r| r.sdc_avf.fraction())),
+        )
+        .set(
+            "due_avf",
+            ses_metrics::mean(rows.iter().map(|r| r.due_avf.fraction())),
+        );
+    doc.set("means", means);
+    doc
+}
+
+fn histogram_value(h: &LifetimeHistogram) -> JsonValue {
+    let mut v = JsonValue::object();
+    v.set("residencies", h.residencies())
+        .set("valid_log2", h.valid())
+        .set("exposed_log2", h.exposed())
+        .set("ex_ace_log2", h.ex_ace());
+    v
+}
+
+/// Per-workload AVF decomposition detail: the exact integer bit-cycle
+/// classes, per-bit-kind AVFs, false-DUE causes, and lifetime histograms.
+pub fn workload_detail(run: &WorkloadRun) -> JsonValue {
+    let d = run.avf.decomposition();
+    let mut detail = JsonValue::object();
+    let mut bits = JsonValue::object();
+    bits.set("total", d.total)
+        .set("ace", d.ace)
+        .set("unread", d.unread)
+        .set("idle", d.idle);
+    let mut unace = JsonValue::object();
+    for (i, cause) in FalseDueCause::ALL.iter().enumerate() {
+        unace.set(&format!("{cause:?}"), d.unace[i]);
+    }
+    bits.set("unace", unace);
+    detail.set("bit_cycles", bits);
+    let kinds: Vec<JsonValue> = run
+        .avf
+        .avf_by_bit_kind()
+        .iter()
+        .map(|k| {
+            let mut v = JsonValue::object();
+            v.set("kind", format!("{:?}", k.kind))
+                .set("width", k.width)
+                .set("avf", k.avf.fraction());
+            v
+        })
+        .collect();
+    detail.set("avf_by_bit_kind", kinds);
+    detail.set(
+        "lifetimes",
+        histogram_value(&LifetimeHistogram::from_residencies(
+            &run.result.residencies,
+        )),
+    );
+    detail
+}
+
+/// Renders stage counters as bucket records plus totals.
+pub fn stage_counters_value(st: &StageCounters) -> JsonValue {
+    let bucket_value = |b: &ses_pipeline::StageBucket| {
+        let mut v = JsonValue::object();
+        v.set("start_cycle", b.start_cycle)
+            .set("cycles", b.cycles)
+            .set("fetched", b.fetched)
+            .set("wrong_path_fetched", b.wrong_path_fetched)
+            .set("inserted", b.inserted)
+            .set("issued", b.issued)
+            .set("committed", b.committed)
+            .set("squashes", b.squashes)
+            .set("squashed_instrs", b.squashed_instrs)
+            .set("throttled_cycles", b.throttled_cycles)
+            .set("occupancy_sum", b.occupancy_sum);
+        v
+    };
+    let mut v = JsonValue::object();
+    v.set("bucket_size", st.bucket_size())
+        .set("totals", bucket_value(&st.totals()))
+        .set(
+            "buckets",
+            st.buckets()
+                .iter()
+                .map(bucket_value)
+                .collect::<Vec<JsonValue>>(),
+        );
+    v
+}
+
+/// The single-workload artifact: the summary row, the AVF decomposition
+/// detail, and (when collected) per-stage pipeline counters.
+pub fn run_artifact(
+    cfg: &PipelineConfig,
+    run: &WorkloadRun,
+    stages: Option<&StageCounters>,
+    level: TelemetryLevel,
+) -> JsonValue {
+    let mut doc = header("run", level);
+    doc.set("machine", machine_value(cfg));
+    doc.set("summary", summary_value(&run.summary()));
+    doc.set("detail", workload_detail(run));
+    if let Some(st) = stages {
+        doc.set("stages", stage_counters_value(st));
+    }
+    doc
+}
+
+/// The fault-injection campaign artifact. Summary level contains only
+/// thread-count-invariant quantities; `Full` adds wall-clock timings and
+/// the scheduling-dependent replay cache-hit counter.
+pub fn campaign_artifact(
+    workload: &str,
+    report: &DetailedReport,
+    iq_entries: usize,
+    level: TelemetryLevel,
+) -> JsonValue {
+    let summary = report.summary();
+    let mut doc = header("campaign", level);
+    doc.set("workload", workload)
+        .set("injections", summary.total());
+    let mut outcomes = JsonValue::object();
+    for o in Outcome::ALL {
+        outcomes.set(o.label(), summary.count(o));
+    }
+    doc.set("outcomes", outcomes);
+    doc.set("sdc_avf_estimate", summary.sdc_avf_estimate())
+        .set("due_avf_estimate", summary.due_avf_estimate());
+    let kinds: Vec<JsonValue> = report
+        .failure_rate_by_bit_kind()
+        .iter()
+        .map(|(kind, rate, n)| {
+            let mut v = JsonValue::object();
+            v.set("kind", format!("{kind:?}"))
+                .set("failure_rate", *rate)
+                .set("strikes", *n);
+            v
+        })
+        .collect();
+    doc.set("failure_rate_by_bit_kind", kinds);
+    doc.set(
+        "failure_rate_by_slot_quarter",
+        report
+            .failure_rate_by_slot_quarter(iq_entries)
+            .iter()
+            .map(|&r| JsonValue::F64(r))
+            .collect::<Vec<JsonValue>>(),
+    );
+    let perf = report.perf();
+    let mut p = JsonValue::object();
+    p.set("checkpoints", perf.checkpoints)
+        .set("checkpoint_interval", perf.checkpoint_interval)
+        .set("cycles_simulated", perf.cycles_simulated)
+        .set("cycles_skipped", perf.cycles_skipped)
+        .set("replays", perf.replays)
+        .set("replay_fast_path", perf.replay_fast_path);
+    if level == TelemetryLevel::Full {
+        // Wall-clock and cache-hit counters vary with machine load and
+        // thread interleaving; never let them into golden-comparable
+        // artifacts.
+        p.set("prepare_wall_s", perf.prepare_wall.as_secs_f64())
+            .set("inject_wall_s", perf.inject_wall.as_secs_f64())
+            .set("replay_cache_hits", perf.replay_cache_hits);
+    }
+    doc.set("perf", p);
+    if level == TelemetryLevel::Full {
+        let samples: Vec<JsonValue> = report
+            .samples()
+            .iter()
+            .map(|(f, o)| {
+                let mut v = JsonValue::object();
+                v.set("cycle", f.cycle.as_u64())
+                    .set("slot", f.slot)
+                    .set("bit", f.bit)
+                    .set("outcome", o.label());
+                v
+            })
+            .collect();
+        doc.set("samples", samples);
+    }
+    doc
+}
+
+/// Writes a rendered artifact to `path` (atomically enough for tests:
+/// full render first, single write call).
+///
+/// # Errors
+///
+/// Propagates file-creation and write failures.
+pub fn write_artifact(path: &Path, doc: &JsonValue) -> std::io::Result<()> {
+    let rendered = doc.render();
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(rendered.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run::run_workload;
+    use ses_workloads::WorkloadSpec;
+
+    #[test]
+    fn run_artifact_is_deterministic_and_versioned() {
+        let spec = WorkloadSpec::quick("telemetry-test", 5);
+        let cfg = PipelineConfig::default();
+        let a = run_workload(&spec, &cfg).unwrap();
+        let b = run_workload(&spec, &cfg).unwrap();
+        let doc_a = run_artifact(&cfg, &a, None, TelemetryLevel::Summary);
+        let doc_b = run_artifact(&cfg, &b, None, TelemetryLevel::Summary);
+        assert_eq!(doc_a.render(), doc_b.render());
+        let text = doc_a.render();
+        assert!(text.contains("\"schema_version\": 1"));
+        assert!(text.contains("\"artifact\": \"run\""));
+        assert!(text.contains("\"bit_cycles\""));
+    }
+
+    #[test]
+    fn suite_artifact_carries_rows_in_order() {
+        let cfg = PipelineConfig::default();
+        let runs: Vec<_> = ["alpha", "beta"]
+            .iter()
+            .map(|n| {
+                run_workload(&WorkloadSpec::quick(n, 3), &cfg)
+                    .unwrap()
+                    .summary()
+            })
+            .collect();
+        let doc = suite_artifact(&cfg, &runs, &[], TelemetryLevel::Summary);
+        let text = doc.render();
+        let a = text.find("\"alpha\"").unwrap();
+        let b = text.find("\"beta\"").unwrap();
+        assert!(a < b, "suite order must be preserved");
+        assert!(text.contains("\"means\""));
+    }
+
+    #[test]
+    fn decomposition_detail_conserves_bit_cycles() {
+        let cfg = PipelineConfig::default();
+        let run = run_workload(&WorkloadSpec::quick("conserve", 7), &cfg).unwrap();
+        let d = run.avf.decomposition();
+        assert_eq!(
+            d.ace + d.unace_total() + d.unread + d.idle,
+            d.total,
+            "bit-cycle classes must partition the total"
+        );
+        assert_eq!(d.ace_by_kind.iter().sum::<u64>(), d.ace);
+    }
+}

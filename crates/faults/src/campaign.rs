@@ -306,12 +306,12 @@ impl Campaign {
         }
         let next = AtomicU32::new(0);
         let mut indexed: Vec<(u32, T)> = Vec::with_capacity(n as usize);
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             let mut handles = Vec::new();
             for _ in 0..threads {
                 let next = &next;
                 let f = &f;
-                handles.push(scope.spawn(move |_| {
+                handles.push(scope.spawn(move || {
                     let mut local = Vec::new();
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
@@ -326,8 +326,7 @@ impl Campaign {
             for h in handles {
                 indexed.extend(h.join().expect("injection worker panicked"));
             }
-        })
-        .expect("campaign scope");
+        });
         indexed.sort_unstable_by_key(|&(i, _)| i);
         indexed.into_iter().map(|(_, v)| v).collect()
     }

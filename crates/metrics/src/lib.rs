@@ -24,9 +24,11 @@
 
 mod model;
 mod table;
+pub mod telemetry;
 
 pub use model::{RatePoint, ReliabilityModel};
 pub use table::Table;
+pub use telemetry::{JsonValue, TelemetryLevel, SCHEMA_VERSION};
 
 /// Arithmetic mean of an iterator of f64 values (0 when empty).
 pub fn mean(values: impl IntoIterator<Item = f64>) -> f64 {

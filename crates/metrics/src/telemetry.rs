@@ -1,0 +1,316 @@
+//! Structured telemetry primitives: a schema-versioned, byte-stable JSON
+//! document model used by every `ser-repro` run artifact.
+//!
+//! Artifacts are built as [`JsonValue`] trees and rendered with
+//! [`JsonValue::render`], which is fully deterministic: object keys keep
+//! insertion order, floats print via Rust's shortest-round-trip `Display`,
+//! and non-finite floats become `null`. Two runs producing equal in-memory
+//! values therefore produce byte-identical files — the property the golden
+//! regression suite and the thread-determinism tests lock in.
+
+use std::fmt::Write as _;
+
+/// Version of the artifact schema emitted by this build. Bump on any
+/// field rename, removal, or semantic change; additions are also bumps
+/// because golden files compare byte-for-byte.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// How much telemetry a run records and emits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TelemetryLevel {
+    /// No artifact output; zero collection cost.
+    Off,
+    /// Deterministic summary sections only (safe for golden files and
+    /// cross-thread-count comparison).
+    #[default]
+    Summary,
+    /// Everything, including wall-clock timings and cache-hit counters
+    /// that legitimately vary run to run.
+    Full,
+}
+
+impl TelemetryLevel {
+    /// Parses a `--telemetry` flag value.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "off" => Ok(TelemetryLevel::Off),
+            "summary" => Ok(TelemetryLevel::Summary),
+            "full" => Ok(TelemetryLevel::Full),
+            other => Err(format!(
+                "unknown telemetry level '{other}' (use off/summary/full)"
+            )),
+        }
+    }
+
+    /// The flag spelling of this level.
+    pub fn label(self) -> &'static str {
+        match self {
+            TelemetryLevel::Off => "off",
+            TelemetryLevel::Summary => "summary",
+            TelemetryLevel::Full => "full",
+        }
+    }
+
+    /// Whether any collection/emission happens at all.
+    pub fn enabled(self) -> bool {
+        self != TelemetryLevel::Off
+    }
+}
+
+/// A JSON document node with insertion-ordered objects.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null` (also the rendering of non-finite floats).
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An unsigned integer.
+    U64(u64),
+    /// A signed integer.
+    I64(i64),
+    /// A finite float (non-finite values render as `null`).
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Array(Vec<JsonValue>),
+    /// An object; keys keep insertion order so rendering is deterministic.
+    Object(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// An empty object.
+    pub fn object() -> JsonValue {
+        JsonValue::Object(Vec::new())
+    }
+
+    /// Appends a field to an object.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is not an object.
+    pub fn set(&mut self, key: &str, value: impl Into<JsonValue>) -> &mut Self {
+        match self {
+            JsonValue::Object(fields) => fields.push((key.to_string(), value.into())),
+            other => panic!("set() on non-object JsonValue {other:?}"),
+        }
+        self
+    }
+
+    /// Renders the document with 2-space indentation and a trailing
+    /// newline. The output is a pure function of the value.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn render_into(&self, out: &mut String, indent: usize) {
+        match self {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            JsonValue::U64(v) => {
+                let _ = write!(out, "{v}");
+            }
+            JsonValue::I64(v) => {
+                let _ = write!(out, "{v}");
+            }
+            JsonValue::F64(v) => {
+                if v.is_finite() {
+                    // Display gives the shortest string that round-trips;
+                    // keep whole floats visually distinct from integers.
+                    let s = format!("{v}");
+                    out.push_str(&s);
+                    if !s.contains(['.', 'e', 'E']) {
+                        out.push_str(".0");
+                    }
+                } else {
+                    out.push_str("null");
+                }
+            }
+            JsonValue::Str(s) => render_string(s, out),
+            JsonValue::Array(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    push_indent(out, indent + 1);
+                    item.render_into(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push(']');
+            }
+            JsonValue::Object(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    push_indent(out, indent + 1);
+                    render_string(key, out);
+                    out.push_str(": ");
+                    value.render_into(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn push_indent(out: &mut String, indent: usize) {
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+fn render_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl From<bool> for JsonValue {
+    fn from(v: bool) -> Self {
+        JsonValue::Bool(v)
+    }
+}
+
+impl From<u32> for JsonValue {
+    fn from(v: u32) -> Self {
+        JsonValue::U64(v as u64)
+    }
+}
+
+impl From<u64> for JsonValue {
+    fn from(v: u64) -> Self {
+        JsonValue::U64(v)
+    }
+}
+
+impl From<usize> for JsonValue {
+    fn from(v: usize) -> Self {
+        JsonValue::U64(v as u64)
+    }
+}
+
+impl From<i64> for JsonValue {
+    fn from(v: i64) -> Self {
+        JsonValue::I64(v)
+    }
+}
+
+impl From<f64> for JsonValue {
+    fn from(v: f64) -> Self {
+        JsonValue::F64(v)
+    }
+}
+
+impl From<&str> for JsonValue {
+    fn from(v: &str) -> Self {
+        JsonValue::Str(v.to_string())
+    }
+}
+
+impl From<String> for JsonValue {
+    fn from(v: String) -> Self {
+        JsonValue::Str(v)
+    }
+}
+
+impl From<Vec<JsonValue>> for JsonValue {
+    fn from(v: Vec<JsonValue>) -> Self {
+        JsonValue::Array(v)
+    }
+}
+
+impl From<&[u64]> for JsonValue {
+    fn from(v: &[u64]) -> Self {
+        JsonValue::Array(v.iter().map(|&x| JsonValue::U64(x)).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rendering_is_deterministic_and_ordered() {
+        let mut doc = JsonValue::object();
+        doc.set("schema_version", SCHEMA_VERSION)
+            .set("name", "twolf")
+            .set("ipc", 1.25)
+            .set("cycles", 123u64)
+            .set("flags", vec![JsonValue::Bool(true), JsonValue::Null]);
+        let a = doc.render();
+        let b = doc.clone().render();
+        assert_eq!(a, b);
+        // Insertion order is preserved.
+        let si = a.find("schema_version").unwrap();
+        let ni = a.find("\"name\"").unwrap();
+        let ci = a.find("cycles").unwrap();
+        assert!(si < ni && ni < ci);
+        assert!(a.ends_with("}\n"));
+    }
+
+    #[test]
+    fn floats_round_trip_and_nonfinite_is_null() {
+        assert_eq!(JsonValue::F64(0.1).render(), "0.1\n");
+        assert_eq!(JsonValue::F64(2.0).render(), "2.0\n");
+        assert_eq!(JsonValue::F64(f64::NAN).render(), "null\n");
+        assert_eq!(JsonValue::F64(f64::INFINITY).render(), "null\n");
+        assert_eq!(JsonValue::F64(-3.5).render(), "-3.5\n");
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let v = JsonValue::Str("a\"b\\c\n\u{1}".into());
+        assert_eq!(v.render(), "\"a\\\"b\\\\c\\n\\u0001\"\n");
+    }
+
+    #[test]
+    fn empty_containers_render_compactly() {
+        assert_eq!(JsonValue::Array(vec![]).render(), "[]\n");
+        assert_eq!(JsonValue::object().render(), "{}\n");
+    }
+
+    #[test]
+    fn level_parsing() {
+        assert_eq!(TelemetryLevel::parse("off").unwrap(), TelemetryLevel::Off);
+        assert_eq!(
+            TelemetryLevel::parse("summary").unwrap(),
+            TelemetryLevel::Summary
+        );
+        assert_eq!(TelemetryLevel::parse("full").unwrap(), TelemetryLevel::Full);
+        assert!(TelemetryLevel::parse("verbose").is_err());
+        assert!(!TelemetryLevel::Off.enabled());
+        assert!(TelemetryLevel::Full.enabled());
+        assert_eq!(TelemetryLevel::Summary.label(), "summary");
+    }
+}

@@ -28,6 +28,7 @@ use crate::frontend::{FetchedInstr, FrontEnd, FrontEndState};
 use crate::iq::{InstructionQueue, IqEntry};
 use crate::residency::{Occupant, Residency, ResidencyEnd};
 use crate::result::PipelineResult;
+use crate::telemetry::StageCounters;
 
 /// A scheduled misprediction recovery.
 #[derive(Debug, Clone, Copy)]
@@ -64,6 +65,25 @@ impl Pipeline {
     /// Runs the timing model over a functional trace.
     pub fn run(&self, program: &Program, trace: &ExecutionTrace) -> PipelineResult {
         self.run_with_fault(program, trace, None, DetectionModel::None)
+    }
+
+    /// Runs the fault-free timing model while collecting per-stage
+    /// telemetry bucketed by `bucket_size` cycles. Timing is identical to
+    /// [`Pipeline::run`]; only the counters are extra.
+    pub fn run_instrumented(
+        &self,
+        program: &Program,
+        trace: &ExecutionTrace,
+        detection: DetectionModel,
+        bucket_size: u64,
+    ) -> (PipelineResult, StageCounters) {
+        let mut engine = Engine::new(&self.config, program, trace, None, detection);
+        engine.stages = Some(StageCounters::new(bucket_size));
+        if engine.cfg.warm_caches {
+            engine.warm_caches();
+        }
+        let (result, _, stages) = engine.run_core(Cycle::ZERO, 0);
+        (result, stages.expect("instrumented run keeps its collector"))
     }
 
     /// Runs the timing model with an optional injected fault under the
@@ -202,6 +222,8 @@ struct Engine<'a> {
     fault: Option<FaultSpec>,
     detector: Detector,
     stop_early: bool,
+    /// Per-stage telemetry; `None` keeps collection zero-cost.
+    stages: Option<StageCounters>,
 }
 
 impl<'a> Engine<'a> {
@@ -229,6 +251,7 @@ impl<'a> Engine<'a> {
             fault,
             detector: Detector::new(detection),
             stop_early: false,
+            stages: None,
         }
     }
 
@@ -272,7 +295,8 @@ impl<'a> Engine<'a> {
         if self.cfg.warm_caches {
             self.warm_caches();
         }
-        self.run_core(Cycle::ZERO, interval)
+        let (result, snapshots, _) = self.run_core(Cycle::ZERO, interval);
+        (result, snapshots)
     }
 
     /// The cycle loop, from `start` (inclusive), capturing a snapshot at
@@ -280,7 +304,11 @@ impl<'a> Engine<'a> {
     /// Warm-up, if any, must have happened already: a resumed run's
     /// restored hierarchy is post-warm-up state and must not be warmed
     /// again.
-    fn run_core(mut self, start: Cycle, interval: u64) -> (PipelineResult, Vec<Snapshot>) {
+    fn run_core(
+        mut self,
+        start: Cycle,
+        interval: u64,
+    ) -> (PipelineResult, Vec<Snapshot>, Option<StageCounters>) {
         let mut snapshots = Vec::new();
         let mut now = start;
         let total = self.trace.len() as u64;
@@ -299,7 +327,10 @@ impl<'a> Engine<'a> {
             self.step_insert(now);
             self.step_fetch(now);
             self.step_inject(now);
-            self.iq.tick_stats();
+            let occupancy = self.iq.tick_stats();
+            if let Some(st) = self.stages.as_mut() {
+                st.on_cycle(now.as_u64(), occupancy as u64);
+            }
             now = now.next();
         }
         self.iq.drain_all(now);
@@ -339,7 +370,7 @@ impl<'a> Engine<'a> {
             budget_exhausted,
             residencies,
         };
-        (result, snapshots)
+        (result, snapshots, self.stages)
     }
 
     /// Captures the engine's full state at the top of cycle `now`.
@@ -404,6 +435,7 @@ impl<'a> Engine<'a> {
     }
 
     fn step_retire(&mut self, now: Cycle) {
+        let mut retired = 0u64;
         for _ in 0..self.cfg.width {
             let Some(slot) = self.iq.head() else { break };
             let entry = self.iq.get(slot).expect("head occupied");
@@ -420,9 +452,15 @@ impl<'a> Engine<'a> {
             }
             let entry = self.iq.retire(slot, now);
             self.committed += 1;
+            retired += 1;
             let d = &self.trace[trace_idx as usize];
             if self.detector.on_commit(&entry, d) {
                 self.stop_early = true;
+            }
+        }
+        if retired > 0 {
+            if let Some(st) = self.stages.as_mut() {
+                st.on_commit(now.as_u64(), retired);
             }
         }
     }
@@ -499,6 +537,11 @@ impl<'a> Engine<'a> {
             issued += 1;
         }
 
+        if issued > 0 {
+            if let Some(st) = self.stages.as_mut() {
+                st.on_issue(now.as_u64(), issued as u64);
+            }
+        }
         if let Some((load_seq, load_trace_idx, data_ready)) = squash_request {
             self.apply_squash(load_seq, load_trace_idx, data_ready, now);
         }
@@ -600,6 +643,9 @@ impl<'a> Engine<'a> {
         }
         self.squashed_instrs += squashed.len() as u64;
         self.squashes += 1;
+        if let Some(st) = self.stages.as_mut() {
+            st.on_squash(now.as_u64(), squashed.len() as u64);
+        }
         // Cancel a pending recovery if its branch was squashed.
         if let Some(rec) = self.recovery {
             if rec.branch_seq.is_younger_than(load_seq) {
@@ -625,6 +671,7 @@ impl<'a> Engine<'a> {
         if free == 0 {
             return;
         }
+        let mut inserted = 0u64;
         for f in self.frontend.take_ready(now, free) {
             let FetchedInstr {
                 occupant,
@@ -637,6 +684,12 @@ impl<'a> Engine<'a> {
             let mut entry = IqEntry::new(occupant, instr, seq, now, falsely_predicated);
             entry.mispredicted_branch = mispredicted_branch;
             self.iq.insert(entry);
+            inserted += 1;
+        }
+        if inserted > 0 {
+            if let Some(st) = self.stages.as_mut() {
+                st.on_insert(now.as_u64(), inserted);
+            }
         }
     }
 
@@ -648,7 +701,16 @@ impl<'a> Engine<'a> {
             && now.as_u64() % self.cfg.ifetch_stall_period < self.cfg.ifetch_stall_cycles;
         self.frontend.throttled = throttled;
         if !ifetch_stalled {
-            self.frontend.fetch(now);
+            let throttled_before = self.frontend.stats().throttled_cycles;
+            let (correct, wrong) = self.frontend.fetch(now);
+            if let Some(st) = self.stages.as_mut() {
+                if correct + wrong > 0 {
+                    st.on_fetch(now.as_u64(), correct, wrong);
+                }
+                if self.frontend.stats().throttled_cycles > throttled_before {
+                    st.on_throttle(now.as_u64());
+                }
+            }
         }
     }
 

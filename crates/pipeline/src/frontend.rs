@@ -125,15 +125,17 @@ impl<'a> FrontEnd<'a> {
         out
     }
 
-    /// Fetches up to `width` instructions this cycle.
-    pub fn fetch(&mut self, now: Cycle) {
+    /// Fetches up to `width` instructions this cycle, returning how many
+    /// (correct-path, wrong-path) instructions entered the pipe.
+    pub fn fetch(&mut self, now: Cycle) -> (u64, u64) {
         if now < self.resume_at {
-            return;
+            return (0, 0);
         }
         if self.throttled {
             self.stats.throttled_cycles += 1;
-            return;
+            return (0, 0);
         }
+        let before = (self.stats.fetched, self.stats.wrong_path_fetched);
         let ready_at = now + self.depth;
         for _ in 0..self.width {
             if self.pipe.len() >= self.pipe_capacity {
@@ -147,6 +149,10 @@ impl<'a> FrontEnd<'a> {
                 break;
             }
         }
+        (
+            self.stats.fetched - before.0,
+            self.stats.wrong_path_fetched - before.1,
+        )
     }
 
     fn fetch_correct_path(&mut self, ready_at: Cycle) -> bool {

@@ -230,8 +230,11 @@ impl InstructionQueue {
     }
 
     /// Accumulates one cycle of occupancy statistics; call once per cycle.
-    pub fn tick_stats(&mut self) {
-        self.occupied_cycle_sum += self.occupied() as u64;
+    /// Returns the occupancy observed.
+    pub fn tick_stats(&mut self) -> usize {
+        let occupied = self.occupied();
+        self.occupied_cycle_sum += occupied as u64;
+        occupied
     }
 
     /// Sum over all ticked cycles of the occupied-slot count.

@@ -44,6 +44,7 @@ mod pibit;
 mod predictor;
 mod residency;
 mod result;
+mod telemetry;
 
 pub use config::{
     IssueOrder, PipelineConfig, PredictorConfig, PredictorKind, SquashPolicy, ThrottlePolicy,
@@ -60,3 +61,4 @@ pub use pibit::{PiScope, PiStep, PiTracker, SignalPoint};
 pub use predictor::Gshare;
 pub use residency::{Occupant, Residency, ResidencyEnd};
 pub use result::PipelineResult;
+pub use telemetry::{LifetimeHistogram, StageBucket, StageCounters};

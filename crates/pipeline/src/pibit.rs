@@ -150,9 +150,15 @@ impl PiTracker {
 
     /// Whether any poison is still pending (unconsumed) in the tracker.
     pub fn poison_pending(&self) -> bool {
-        self.reg_pi.iter().any(|&b| b)
-            || self.pred_pi.iter().any(|&b| b)
-            || self.mem_pi.marked_count() > 0
+        self.poison_count() > 0
+    }
+
+    /// Number of poisoned locations (registers, predicates, and marked
+    /// memory blocks) currently tracked.
+    pub fn poison_count(&self) -> usize {
+        self.reg_pi.iter().filter(|&&b| b).count()
+            + self.pred_pi.iter().filter(|&&b| b).count()
+            + self.mem_pi.marked_count()
     }
 
     /// Processes one committed instruction.

@@ -8,14 +8,67 @@
 //! ser-repro inject <name> [--injections N] [--model none|parity|tracking]
 //! ser-repro pet <name>
 //! ```
+//!
+//! Every subcommand additionally accepts `--json <path>` to write a
+//! schema-versioned run artifact and `--telemetry off|summary|full` to
+//! pick how much goes into it (see EXPERIMENTS.md for the schema).
 
+use std::path::PathBuf;
 use std::process::ExitCode;
 
+use ses_core::telemetry as artifact;
 use ses_core::{
-    compare_suites, mean, run_suite, run_workload, spec_by_name, suite, Campaign,
-    CampaignConfig, DetectionModel, FalseDueCause, Level, Outcome, PipelineConfig, Table,
-    Technique, TrackingConfig,
+    compare_suites, mean, run_suite, run_suite_with, run_workload, spec_by_name, suite, Campaign,
+    CampaignConfig, DetectionModel, FalseDueCause, JsonValue, Level, Outcome, Pipeline,
+    PipelineConfig, Table, Technique, TelemetryLevel, TrackingConfig,
 };
+
+/// The `--json` / `--telemetry` flags shared by every subcommand.
+struct Telemetry {
+    json: Option<PathBuf>,
+    level: TelemetryLevel,
+}
+
+impl Telemetry {
+    /// Strips the shared telemetry flags out of `args`, returning the
+    /// remaining (subcommand-specific) arguments.
+    fn extract(args: &[String]) -> Result<(Vec<String>, Telemetry), String> {
+        let mut rest = Vec::new();
+        let mut json = None;
+        let mut level = TelemetryLevel::Summary;
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--json" => {
+                    json = Some(PathBuf::from(it.next().ok_or("--json needs a path")?));
+                }
+                "--telemetry" => {
+                    level = TelemetryLevel::parse(it.next().ok_or("--telemetry needs a level")?)?;
+                }
+                _ => rest.push(a.clone()),
+            }
+        }
+        if json.is_some() && !level.enabled() {
+            return Err("--json needs telemetry; drop '--telemetry off'".into());
+        }
+        Ok((rest, Telemetry { json, level }))
+    }
+
+    /// Whether an artifact should be produced at all.
+    fn active(&self) -> bool {
+        self.json.is_some()
+    }
+
+    /// Writes the artifact if `--json` was given.
+    fn emit(&self, doc: &JsonValue) -> Result<(), String> {
+        if let Some(path) = &self.json {
+            artifact::write_artifact(path, doc)
+                .map_err(|e| format!("{}: {e}", path.display()))?;
+            eprintln!("wrote {}", path.display());
+        }
+        Ok(())
+    }
+}
 
 fn parse_level(s: &str) -> Result<Level, String> {
     match s {
@@ -49,7 +102,7 @@ fn parse_machine(args: &[String]) -> Result<PipelineConfig, String> {
     Ok(cfg)
 }
 
-fn cmd_list() -> Result<(), String> {
+fn cmd_list(tel: &Telemetry) -> Result<(), String> {
     let mut t = Table::new(vec!["name", "class", "working set", "stride", "miss gate"]);
     for s in suite() {
         t.row(vec![
@@ -61,12 +114,44 @@ fn cmd_list() -> Result<(), String> {
         ]);
     }
     println!("{t}");
+    if tel.active() {
+        let mut doc = JsonValue::object();
+        doc.set("schema_version", ses_core::SCHEMA_VERSION)
+            .set("artifact", "list")
+            .set("telemetry", tel.level.label());
+        let rows: Vec<JsonValue> = suite()
+            .iter()
+            .map(|s| {
+                let mut v = JsonValue::object();
+                v.set("name", s.name.as_str())
+                    .set("category", s.category.label())
+                    .set("working_set_bytes", s.working_set_bytes)
+                    .set("stride_bytes", s.stride_bytes);
+                v
+            })
+            .collect();
+        doc.set("workloads", rows);
+        tel.emit(&doc)?;
+    }
     Ok(())
 }
 
-fn cmd_suite(args: &[String]) -> Result<(), String> {
+fn cmd_suite(args: &[String], tel: &Telemetry) -> Result<(), String> {
     let cfg = parse_machine(args)?;
-    let rows = run_suite(&cfg).map_err(|e| e.to_string())?;
+    // Full-level artifacts carry the per-workload AVF decomposition,
+    // which needs the complete WorkloadRun, so project it inside the
+    // parallel sweep instead of re-running everything afterwards.
+    let (rows, details): (Vec<_>, Vec<_>) =
+        if tel.active() && tel.level == TelemetryLevel::Full {
+            run_suite_with(&cfg, 0, |_, run| {
+                (run.summary(), artifact::workload_detail(&run))
+            })
+            .map_err(|e| e.to_string())?
+            .into_iter()
+            .unzip()
+        } else {
+            (run_suite(&cfg).map_err(|e| e.to_string())?, Vec::new())
+        };
     let mut t = Table::new(vec![
         "bench", "class", "IPC", "SDC AVF", "DUE AVF", "false DUE", "squashes",
     ]);
@@ -88,10 +173,13 @@ fn cmd_suite(args: &[String]) -> Result<(), String> {
         mean(rows.iter().map(|r| r.sdc_avf.percent())),
         mean(rows.iter().map(|r| r.due_avf.percent())),
     );
+    if tel.active() {
+        tel.emit(&artifact::suite_artifact(&cfg, &rows, &details, tel.level))?;
+    }
     Ok(())
 }
 
-fn cmd_bench(name: &str, args: &[String]) -> Result<(), String> {
+fn cmd_bench(name: &str, args: &[String], tel: &Telemetry) -> Result<(), String> {
     let spec = spec_by_name(name).ok_or_else(|| format!("unknown benchmark '{name}'"))?;
     let cfg = parse_machine(args)?;
     let run = run_workload(&spec, &cfg).map_err(|e| e.to_string())?;
@@ -169,10 +257,25 @@ fn cmd_bench(name: &str, args: &[String]) -> Result<(), String> {
         .map(|p| glyphs[(p.valid * 7 / peak) as usize])
         .collect();
     println!("exposure timeline (valid bit-cycles per interval):\n[{line}]");
+    if tel.active() {
+        // Stage counters are Full-level extras: re-run the (deterministic)
+        // timing model with the collector attached; ~64 buckets per run.
+        let stages = if tel.level == TelemetryLevel::Full {
+            let bucket = (run.result.cycles / 64).max(1);
+            Some(
+                Pipeline::new(cfg.clone())
+                    .run_instrumented(&run.program, &run.trace, DetectionModel::None, bucket)
+                    .1,
+            )
+        } else {
+            None
+        };
+        tel.emit(&artifact::run_artifact(&cfg, &run, stages.as_ref(), tel.level))?;
+    }
     Ok(())
 }
 
-fn cmd_inject(name: &str, args: &[String]) -> Result<(), String> {
+fn cmd_inject(name: &str, args: &[String], tel: &Telemetry) -> Result<(), String> {
     let spec = spec_by_name(name)
         .ok_or_else(|| format!("unknown benchmark '{name}'"))?;
     let mut injections = 300u32;
@@ -201,17 +304,16 @@ fn cmd_inject(name: &str, args: &[String]) -> Result<(), String> {
             _ => {}
         }
     }
-    let campaign = Campaign::prepare(
-        &spec,
-        CampaignConfig {
-            injections,
-            seed: 2026,
-            detection,
-            ..CampaignConfig::default()
-        },
-    )
-    .map_err(|e| e.to_string())?;
-    let report = campaign.run();
+    let config = CampaignConfig {
+        injections,
+        seed: 2026,
+        detection,
+        ..CampaignConfig::default()
+    };
+    let iq_entries = config.pipeline.iq_entries;
+    let campaign = Campaign::prepare(&spec, config).map_err(|e| e.to_string())?;
+    let detailed = campaign.run_detailed();
+    let report = detailed.summary();
     print!("{report}");
     match detection {
         DetectionModel::None => {
@@ -232,10 +334,15 @@ fn cmd_inject(name: &str, args: &[String]) -> Result<(), String> {
             let _ = Outcome::ALL; // (kept for discoverability in docs)
         }
     }
+    if tel.active() {
+        tel.emit(&artifact::campaign_artifact(
+            name, &detailed, iq_entries, tel.level,
+        ))?;
+    }
     Ok(())
 }
 
-fn cmd_pet(name: &str) -> Result<(), String> {
+fn cmd_pet(name: &str, tel: &Telemetry) -> Result<(), String> {
     let spec = spec_by_name(name).ok_or_else(|| format!("unknown benchmark '{name}'"))?;
     let run = run_workload(&spec, &PipelineConfig::default()).map_err(|e| e.to_string())?;
     let mut t = Table::new(vec![
@@ -244,7 +351,8 @@ fn cmd_pet(name: &str) -> Result<(), String> {
         "FDD(+mem) coverage",
         "residual false DUE",
     ]);
-    for size in [32u64, 128, 512, 2048, 8192, 32768] {
+    let sizes = [32u64, 128, 512, 2048, 8192, 32768];
+    for size in sizes {
         t.row(vec![
             size.to_string(),
             format!("{:.0}%", run.dead.pet_coverage_fdd_reg(size, true) * 100.0),
@@ -255,10 +363,35 @@ fn cmd_pet(name: &str) -> Result<(), String> {
         ]);
     }
     println!("{t}");
+    if tel.active() {
+        let mut doc = JsonValue::object();
+        doc.set("schema_version", ses_core::SCHEMA_VERSION)
+            .set("artifact", "pet")
+            .set("telemetry", tel.level.label())
+            .set("workload", name);
+        let rows: Vec<JsonValue> = sizes
+            .iter()
+            .map(|&size| {
+                let mut v = JsonValue::object();
+                v.set("entries", size)
+                    .set("coverage_fdd_reg", run.dead.pet_coverage_fdd_reg(size, true))
+                    .set("coverage_with_memory", run.dead.pet_coverage_with_memory(size))
+                    .set(
+                        "residual_false_due",
+                        run.avf
+                            .residual_false_due(Some(Technique::Pet(size)), &run.dead)
+                            .fraction(),
+                    );
+                v
+            })
+            .collect();
+        doc.set("sweep", rows);
+        tel.emit(&doc)?;
+    }
     Ok(())
 }
 
-fn cmd_compare(args: &[String]) -> Result<(), String> {
+fn cmd_compare(args: &[String], tel: &Telemetry) -> Result<(), String> {
     let variant = parse_machine(args)?;
     if variant == PipelineConfig::default() {
         return Err("compare needs at least one machine flag (e.g. --squash l1)".into());
@@ -290,10 +423,32 @@ fn cmd_compare(args: &[String]) -> Result<(), String> {
         mean(rows.iter().map(|c| c.rel_due())),
         mean(rows.iter().map(|c| c.sdc_mitf_gain())),
     );
+    if tel.active() {
+        let mut doc = JsonValue::object();
+        doc.set("schema_version", ses_core::SCHEMA_VERSION)
+            .set("artifact", "compare")
+            .set("telemetry", tel.level.label())
+            .set("variant", artifact::machine_value(&variant));
+        let records: Vec<JsonValue> = rows
+            .iter()
+            .map(|c| {
+                let mut v = JsonValue::object();
+                v.set("name", c.base.name.as_str())
+                    .set("rel_ipc", c.rel_ipc())
+                    .set("rel_sdc_avf", c.rel_sdc())
+                    .set("rel_due_avf", c.rel_due())
+                    .set("sdc_mitf_gain", c.sdc_mitf_gain())
+                    .set("profitable", c.is_profitable());
+                v
+            })
+            .collect();
+        doc.set("workloads", records);
+        tel.emit(&doc)?;
+    }
     Ok(())
 }
 
-fn cmd_run_asm(path: &str) -> Result<(), String> {
+fn cmd_run_asm(path: &str, tel: &Telemetry) -> Result<(), String> {
     let source = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
     let program = ses_isa::assemble(&source).map_err(|e| e.to_string())?;
     let trace = ses_arch::Emulator::new(&program)
@@ -315,6 +470,22 @@ fn cmd_run_asm(path: &str) -> Result<(), String> {
         avf.due_avf(),
         dead.dead_fraction() * 100.0
     );
+    if tel.active() {
+        let mut doc = JsonValue::object();
+        doc.set("schema_version", ses_core::SCHEMA_VERSION)
+            .set("artifact", "run-asm")
+            .set("telemetry", tel.level.label())
+            .set("source", path)
+            .set("static_instrs", program.len())
+            .set("dynamic_instrs", trace.len())
+            .set("cycles", result.cycles)
+            .set("ipc", result.ipc().value())
+            .set("sdc_avf", avf.sdc_avf().fraction())
+            .set("due_avf", avf.due_avf().fraction())
+            .set("false_due_avf", avf.false_due_avf().fraction())
+            .set("dead_fraction", dead.dead_fraction());
+        tel.emit(&doc)?;
+    }
     Ok(())
 }
 
@@ -331,37 +502,43 @@ fn usage() -> &'static str {
        compare [flags]             suite baseline-vs-variant comparison\n\
      \n\
      machine flags: --squash l0|l1    --throttle l0|l1\n\
-     inject options: --injections N   --model none|parity|tracking"
+     inject options: --injections N   --model none|parity|tracking\n\
+     artifact flags (any command): --json <path>   --telemetry off|summary|full"
 }
 
-fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let result = match args.first().map(String::as_str) {
-        Some("list") => cmd_list(),
-        Some("suite") => cmd_suite(&args[1..]),
+fn dispatch(args: &[String]) -> Result<(), String> {
+    let (args, tel) = Telemetry::extract(args)?;
+    match args.first().map(String::as_str) {
+        Some("list") => cmd_list(&tel),
+        Some("suite") => cmd_suite(&args[1..], &tel),
         Some("bench") => match args.get(1) {
-            Some(name) if !name.starts_with("--") => cmd_bench(name, &args[2..]),
+            Some(name) if !name.starts_with("--") => cmd_bench(name, &args[2..], &tel),
             _ => Err("bench needs a benchmark name".into()),
         },
         Some("inject") => match args.get(1) {
-            Some(name) if !name.starts_with("--") => cmd_inject(name, &args[2..]),
+            Some(name) if !name.starts_with("--") => cmd_inject(name, &args[2..], &tel),
             _ => Err("inject needs a benchmark name".into()),
         },
         Some("pet") => match args.get(1) {
-            Some(name) if !name.starts_with("--") => cmd_pet(name),
+            Some(name) if !name.starts_with("--") => cmd_pet(name, &tel),
             _ => Err("pet needs a benchmark name".into()),
         },
         Some("run-asm") => match args.get(1) {
-            Some(path) => cmd_run_asm(path),
+            Some(path) => cmd_run_asm(path, &tel),
             None => Err("run-asm needs a source file".into()),
         },
-        Some("compare") => cmd_compare(&args[1..]),
+        Some("compare") => cmd_compare(&args[1..], &tel),
         Some("help") | None => {
             println!("{}", usage());
             Ok(())
         }
         Some(other) => Err(format!("unknown command '{other}'\n\n{}", usage())),
-    };
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = dispatch(&args);
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {

@@ -65,3 +65,42 @@ fn campaign_report_is_seed_deterministic() {
         assert_eq!(a.count(o), b.count(o), "outcome {o} must be stable");
     }
 }
+
+#[test]
+fn campaign_artifact_is_thread_count_invariant() {
+    use ses_core::telemetry::campaign_artifact;
+    use ses_core::{Campaign, CampaignConfig, DetectionModel, TelemetryLevel};
+    let spec = WorkloadSpec::quick("det-campaign-threads", 5);
+    let run_with = |threads: usize| {
+        let config = CampaignConfig {
+            injections: 60,
+            seed: 11,
+            detection: DetectionModel::Parity { tracking: None },
+            threads,
+            ..CampaignConfig::default()
+        };
+        let iq = config.pipeline.iq_entries;
+        let detailed = Campaign::prepare(&spec, config).unwrap().run_detailed();
+        (detailed, iq)
+    };
+    let (one, iq) = run_with(1);
+    let (four, _) = run_with(4);
+    assert_eq!(one.samples(), four.samples(), "per-fault outcomes must match");
+    // The Summary artifact excludes wall-clock and scheduling-dependent
+    // counters, so it must be byte-identical across worker counts.
+    let a = campaign_artifact("det", &one, iq, TelemetryLevel::Summary).render();
+    let b = campaign_artifact("det", &four, iq, TelemetryLevel::Summary).render();
+    assert_eq!(a, b, "campaign telemetry artifact must not depend on threads");
+}
+
+#[test]
+fn suite_artifact_is_thread_count_invariant() {
+    use ses_core::telemetry::suite_artifact;
+    use ses_core::{run_suite_with, TelemetryLevel};
+    let cfg = PipelineConfig::default();
+    let one = run_suite_with(&cfg, 1, |_, run| run.summary()).unwrap();
+    let many = run_suite_with(&cfg, 4, |_, run| run.summary()).unwrap();
+    let a = suite_artifact(&cfg, &one, &[], TelemetryLevel::Summary).render();
+    let b = suite_artifact(&cfg, &many, &[], TelemetryLevel::Summary).render();
+    assert_eq!(a, b, "suite telemetry artifact must not depend on threads");
+}

@@ -1,0 +1,79 @@
+//! Golden-file regression suite: the telemetry artifacts for the default
+//! machine configuration are pinned byte-for-byte under `tests/golden/`.
+//! Any change to workload synthesis, the emulator, the timing model, or
+//! the ACE analysis shows up here as a diff.
+//!
+//! Regenerating after an *intentional* behaviour change:
+//!
+//! ```text
+//! cargo run --release -- suite --json tests/golden/suite_default.json
+//! cargo run --release -- bench twolf --json tests/golden/run_twolf.json
+//! ```
+
+use std::path::Path;
+
+use ses_core::telemetry::{run_artifact, suite_artifact};
+use ses_core::{
+    run_suite, run_workload, spec_by_name, Level, PipelineConfig, TelemetryLevel,
+};
+
+fn golden(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name);
+    std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden file {}: {e}", path.display()))
+}
+
+#[test]
+fn suite_artifact_matches_golden() {
+    let cfg = PipelineConfig::default();
+    let rows = run_suite(&cfg).expect("suite run");
+    let artifact = suite_artifact(&cfg, &rows, &[], TelemetryLevel::Summary).render();
+    assert_eq!(
+        artifact,
+        golden("suite_default.json"),
+        "26-workload suite drifted from tests/golden/suite_default.json; \
+         if intentional, regenerate with \
+         `cargo run --release -- suite --json tests/golden/suite_default.json`"
+    );
+}
+
+#[test]
+fn single_run_artifact_matches_golden() {
+    let spec = spec_by_name("twolf").expect("twolf in suite");
+    let cfg = PipelineConfig::default();
+    let run = run_workload(&spec, &cfg).expect("twolf run");
+    let artifact = run_artifact(&cfg, &run, None, TelemetryLevel::Summary).render();
+    assert_eq!(
+        artifact,
+        golden("run_twolf.json"),
+        "twolf artifact drifted from tests/golden/run_twolf.json; \
+         if intentional, regenerate with \
+         `cargo run --release -- bench twolf --json tests/golden/run_twolf.json`"
+    );
+}
+
+#[test]
+fn perturbed_config_is_caught() {
+    // A golden comparison that cannot fail is worthless: prove that a
+    // behaviour-changing configuration (L1-miss squashing) actually
+    // perturbs the pinned bytes, in the results and not just in the
+    // machine-description stanza.
+    let spec = spec_by_name("twolf").expect("twolf in suite");
+    let cfg = PipelineConfig::default().with_squash(Level::L1);
+    let run = run_workload(&spec, &cfg).expect("perturbed twolf run");
+    let artifact = run_artifact(&cfg, &run, None, TelemetryLevel::Summary).render();
+    assert_ne!(
+        artifact,
+        golden("run_twolf.json"),
+        "squash-enabled run must not reproduce the default-config artifact"
+    );
+    assert!(run.result.squashes > 0, "perturbation must actually engage");
+    let golden_text = golden("run_twolf.json");
+    let cycles_line = format!("\"cycles\": {},", run.result.cycles);
+    assert!(
+        !golden_text.contains(&cycles_line),
+        "perturbed run must change measured results, not just the config stanza"
+    );
+}

@@ -116,6 +116,27 @@ proptest! {
     }
 
     #[test]
+    fn bit_cycles_partition_exactly(spec in arb_spec()) {
+        // Conservation: every simulated (bit x cycle) lands in exactly one
+        // class, as integers -- no float slop allowed.
+        let run = run_workload(&spec, &PipelineConfig::default()).unwrap();
+        let d = run.avf.decomposition();
+        prop_assert_eq!(d.ace + d.unace_total() + d.unread + d.idle, d.total);
+        prop_assert_eq!(d.ace_by_kind.iter().sum::<u64>(), d.ace);
+        prop_assert_eq!(d.total, run.avf.total_bit_cycles());
+    }
+
+    #[test]
+    fn due_avf_is_sdc_plus_false_due(spec in arb_spec()) {
+        let run = run_workload(&spec, &PipelineConfig::default()).unwrap();
+        let sdc = run.avf.sdc_avf().fraction();
+        let false_due = run.avf.false_due_avf().fraction();
+        let due = run.avf.due_avf().fraction();
+        prop_assert!((sdc + false_due - due).abs() < 1e-12,
+            "DUE {} must be SDC {} + false DUE {}", due, sdc, false_due);
+    }
+
+    #[test]
     fn pet_coverage_never_exceeds_register_pi(spec in arb_spec()) {
         let run = run_workload(&spec, &PipelineConfig::default()).unwrap();
         let pet = run.avf.covered_by(ses_core::Technique::Pet(512), &run.dead);
@@ -125,5 +146,73 @@ proptest! {
         prop_assert!(pet <= reg && reg <= store && store <= mem);
         prop_assert!(mem <= run.avf.false_due_avf().fraction().mul_add(run.avf.total_bit_cycles() as f64, 1.0) as u64);
         let _ = AvfAnalysis::new(&run.result, &run.dead); // reconstructible
+    }
+}
+
+// --- pi-bit tracker state invariants -------------------------------------
+
+use ses_arch::DynInstr;
+use ses_isa::Instruction;
+use ses_pipeline::{PiScope, PiTracker};
+use ses_types::{Addr, Reg};
+
+/// One register-file op for the tracker: 0 = add d,s1,s2; 1 = movi d.
+fn reg_op((kind, d, s1, s2): (u8, u8, u8, u8), idx: u64) -> DynInstr {
+    let instr = match kind % 2 {
+        0 => Instruction::add(Reg::new(d % 8 + 1), Reg::new(s1 % 8 + 1), Reg::new(s2 % 8 + 1)),
+        _ => Instruction::movi(Reg::new(d % 8 + 1), i32::from(s1)),
+    };
+    DynInstr {
+        index: idx,
+        pc: Addr::new(0x1_0000 + idx * 8),
+        instr,
+        executed: true,
+        reg_written: instr.reg_write().filter(|r| !r.is_zero()),
+        pred_written: instr.pred_write(),
+        mem_read: None,
+        mem_written: None,
+        taken: None,
+        next_pc: Addr::new(0x1_0000 + (idx + 1) * 8),
+        call_depth: 0,
+        emitted: None,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn commit_scope_holds_no_poison(ops in proptest::collection::vec((any::<u8>(), any::<u8>(), any::<u8>(), any::<u8>()), 1..40)) {
+        // Commit scope signals or suppresses at the commit point itself:
+        // after every commit-scope clearing the tracker must carry zero
+        // pi bits, even when the corrupted instruction itself commits.
+        let mut t = PiTracker::new(PiScope::Commit, 8);
+        for (i, op) in ops.iter().enumerate() {
+            let self_pi = op.0 & 4 != 0;
+            let _ = t.on_commit(&reg_op(*op, i as u64), self_pi);
+            prop_assert_eq!(t.poison_count(), 0);
+            prop_assert!(!t.poison_pending());
+        }
+    }
+
+    #[test]
+    fn register_scope_poison_is_monotone_without_new_faults(ops in proptest::collection::vec((any::<u8>(), any::<u8>(), any::<u8>(), any::<u8>()), 1..40)) {
+        // Seed exactly one poisoned register, then commit only clean
+        // register ops: the pi population can shrink (overwrite) or be
+        // consumed (signal), but never grow, and once it reaches zero it
+        // must stay there (no resurrection).
+        let mut t = PiTracker::new(PiScope::Register, 8);
+        let seed = reg_op((0, 0, 4, 5), 0); // add r1, r5, r6
+        let _ = t.on_commit(&seed, true);
+        let mut last = t.poison_count();
+        for (i, op) in ops.iter().enumerate() {
+            let _ = t.on_commit(&reg_op(*op, i as u64 + 1), false);
+            let now = t.poison_count();
+            prop_assert!(now <= last, "pi count grew {last} -> {now} without a new fault");
+            if last == 0 {
+                prop_assert_eq!(now, 0, "pi poison resurrected after reaching zero");
+            }
+            last = now;
+        }
     }
 }

@@ -1,0 +1,169 @@
+//! Vendored minimal timing harness exposing the `criterion` API subset
+//! this workspace's benches use: `Criterion::bench_function`,
+//! `Bencher::{iter, iter_batched}`, `BatchSize`, and the
+//! `criterion_group!`/`criterion_main!` macros.
+//!
+//! Each benchmark is timed with a fixed warm-up pass followed by a fixed
+//! number of measured batches; the median per-iteration time is printed.
+//! There is no statistical analysis, plotting, or baseline storage — the
+//! goal is an offline-resolvable harness that keeps the benches runnable
+//! and their numbers comparable run-to-run on the same machine.
+
+use std::time::Instant;
+
+/// Re-export so benches can use `criterion::black_box` if they want;
+/// the workspace currently uses `std::hint::black_box` directly.
+pub use std::hint::black_box;
+
+/// How batched inputs are sized; accepted for API compatibility.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+}
+
+/// Times closures handed over by [`Criterion::bench_function`].
+pub struct Bencher {
+    /// Median nanoseconds per iteration, filled in by `iter`/`iter_batched`.
+    median_ns: f64,
+}
+
+const WARMUP_ITERS: u64 = 3;
+const MEASURE_BATCHES: usize = 7;
+const BATCH_ITERS: u64 = 5;
+
+impl Bencher {
+    /// Times `routine` directly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        for _ in 0..WARMUP_ITERS {
+            black_box(routine());
+        }
+        let mut samples = Vec::with_capacity(MEASURE_BATCHES);
+        for _ in 0..MEASURE_BATCHES {
+            let start = Instant::now();
+            for _ in 0..BATCH_ITERS {
+                black_box(routine());
+            }
+            samples.push(start.elapsed().as_nanos() as f64 / BATCH_ITERS as f64);
+        }
+        self.median_ns = median(&mut samples);
+    }
+
+    /// Times `routine` on fresh inputs from `setup`, excluding setup time
+    /// (setup runs outside the timed region, one input per iteration).
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        for _ in 0..WARMUP_ITERS {
+            let input = setup();
+            black_box(routine(input));
+        }
+        let mut samples = Vec::with_capacity(MEASURE_BATCHES * BATCH_ITERS as usize);
+        for _ in 0..MEASURE_BATCHES {
+            for _ in 0..BATCH_ITERS {
+                let input = setup();
+                let start = Instant::now();
+                black_box(routine(input));
+                samples.push(start.elapsed().as_nanos() as f64);
+            }
+        }
+        self.median_ns = median(&mut samples);
+    }
+}
+
+fn median(samples: &mut [f64]) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    samples[samples.len() / 2]
+}
+
+/// The benchmark registry/driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs `f` under the timing harness and prints the median time.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut bencher = Bencher { median_ns: 0.0 };
+        f(&mut bencher);
+        println!("bench {name:<40} {}", format_ns(bencher.median_ns));
+        self
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:>10.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:>10.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:>10.3} us", ns / 1e3)
+    } else {
+        format!("{ns:>10.1} ns")
+    }
+}
+
+/// Declares a benchmark group: a function running each listed bench.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main`, running each listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_times() {
+        let mut c = Criterion::default();
+        let mut ran = 0u32;
+        c.bench_function("smoke/iter", |b| {
+            b.iter(|| {
+                ran += 1;
+                std::hint::black_box(ran)
+            })
+        });
+        assert!(ran >= WARMUP_ITERS as u32 + (MEASURE_BATCHES as u32 * BATCH_ITERS as u32));
+    }
+
+    #[test]
+    fn iter_batched_gets_fresh_inputs() {
+        let mut c = Criterion::default();
+        let mut setups = 0u32;
+        c.bench_function("smoke/batched", |b| {
+            b.iter_batched(
+                || {
+                    setups += 1;
+                    vec![1u8; 16]
+                },
+                |v| v.len(),
+                BatchSize::SmallInput,
+            )
+        });
+        assert!(setups > 1, "setup must run once per iteration");
+    }
+
+    #[test]
+    fn median_is_order_independent() {
+        let mut a = [3.0, 1.0, 2.0];
+        assert_eq!(median(&mut a), 2.0);
+    }
+}

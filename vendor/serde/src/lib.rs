@@ -1,0 +1,18 @@
+//! Vendored stand-in for `serde`, providing just the marker traits and
+//! derive re-exports the workspace names.
+//!
+//! The simulator's machine-readable artifacts are produced by the
+//! deterministic JSON writer in `ses-metrics::telemetry`, not by serde, so
+//! these traits carry no methods: deriving them documents that a type is
+//! part of the (schema-versioned) data model without pulling a remote
+//! dependency into the graph. The container this repo builds in has no
+//! network access, so every external crate must resolve from `vendor/`.
+
+/// Marker: the type is part of the serializable data model.
+pub trait Serialize {}
+
+/// Marker: the type is part of the deserializable data model.
+pub trait Deserialize<'de>: Sized {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

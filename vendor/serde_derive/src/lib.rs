@@ -1,0 +1,21 @@
+//! Vendored stand-in for `serde_derive`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` as forward-looking
+//! schema markers but never serializes through serde itself (run artifacts
+//! use the deterministic writer in `ses-metrics::telemetry`). These derives
+//! therefore expand to nothing, which keeps the dependency graph fully
+//! offline-resolvable: no syn, no quote, no crates.io.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`; accepts (and ignores) `#[serde(...)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`; accepts (and ignores) `#[serde(...)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
