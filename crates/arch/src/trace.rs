@@ -63,6 +63,64 @@ impl DynInstr {
     pub fn is_control(&self) -> bool {
         self.instr.op.is_control()
     }
+
+    /// Whether this dynamic instance changed architectural state visible
+    /// after commit (register file, predicate file, memory, or the output
+    /// stream).
+    pub fn commits_state(&self) -> bool {
+        self.reg_written.is_some()
+            || self.pred_written.is_some()
+            || self.mem_written.is_some()
+            || self.emitted.is_some()
+    }
+
+    /// Cross-checks the recorded side effects against what the static
+    /// instruction definition permits. The differential oracle runs this on
+    /// every committed instruction: a violation means the emulator's record
+    /// and the ISA metadata (which the timing model and the ACE analysis
+    /// both trust) disagree.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first inconsistent side effect.
+    pub fn check_static_consistency(&self) -> Result<(), String> {
+        let op = self.instr.op;
+        if let Some(r) = self.reg_written {
+            if !self.executed {
+                return Err(format!("guard-false instance wrote {r}"));
+            }
+            if !op.writes_reg() {
+                return Err(format!("{op} cannot write a register, wrote {r}"));
+            }
+            if r != self.instr.dest {
+                return Err(format!("wrote {r}, but destination is {}", self.instr.dest));
+            }
+            if r.is_zero() {
+                return Err("recorded a write to the hardwired zero register".into());
+            }
+        }
+        if let Some(p) = self.pred_written {
+            if !self.executed || !op.writes_pred() {
+                return Err(format!("unexpected predicate write to {p} by {op}"));
+            }
+            if p != self.instr.pdest {
+                return Err(format!("wrote {p}, but pdest is {}", self.instr.pdest));
+            }
+        }
+        if self.mem_read.is_some() && !(self.executed && op == Opcode::Ld) {
+            return Err(format!("memory read recorded for {op}"));
+        }
+        if self.mem_written.is_some() && !(self.executed && op == Opcode::St) {
+            return Err(format!("memory write recorded for {op}"));
+        }
+        if self.taken.is_some() != op.is_conditional_branch() {
+            return Err(format!("branch outcome presence mismatches {op}"));
+        }
+        if self.emitted.is_some() && !(self.executed && op == Opcode::Out) {
+            return Err(format!("output emission recorded for {op}"));
+        }
+        Ok(())
+    }
 }
 
 /// Aggregate counts over an [`ExecutionTrace`].

@@ -83,6 +83,15 @@ impl BitCycleDecomposition {
     pub fn unace_total(&self) -> u64 {
         self.unace.iter().sum()
     }
+
+    /// Exact integer conservation: every simulated (bit × cycle) must land
+    /// in exactly one class, and the per-kind ACE attribution must sum to
+    /// the ACE total. The differential oracle and the property suite both
+    /// gate on this.
+    pub fn is_conserved(&self) -> bool {
+        self.ace + self.unace_total() + self.unread + self.idle == self.total
+            && self.ace_by_kind.iter().sum::<u64>() == self.ace
+    }
 }
 
 /// Aggregated AVF analysis of one timing run.

@@ -48,6 +48,11 @@ pub use ses_faults::{
 pub use ses_mem::Level;
 pub use ses_metrics::{geomean, mean, RatePoint, ReliabilityModel, Table};
 pub use ses_metrics::{JsonValue, TelemetryLevel, SCHEMA_VERSION};
+pub use ses_metrics::binomial_ci95;
+pub use ses_oracle::{
+    check_program, run_fuzz, splitmix64, Divergence, DivergenceKind, FuzzConfig, FuzzFailure,
+    FuzzReport, InjectionCheck, OracleConfig,
+};
 pub use ses_pipeline::{
     DetectionModel, FaultSpec, IssueOrder, PiScope, Pipeline, PipelineConfig, PipelineResult,
     PredictorKind, Snapshot, SquashPolicy, ThrottlePolicy, TrackingConfig,

@@ -176,13 +176,28 @@ impl Campaign {
     ///
     /// Propagates functional-emulation failures of the golden run.
     pub fn prepare(spec: &WorkloadSpec, config: CampaignConfig) -> Result<Self, SesError> {
+        Self::prepare_program(synthesize(spec), spec.target_dynamic * 4, config)
+    }
+
+    /// Prepares a campaign over an arbitrary program (the differential
+    /// oracle injects into fuzz-generated programs this way). `max_instrs`
+    /// bounds the golden functional run.
+    ///
+    /// # Errors
+    ///
+    /// Propagates functional-emulation failures of the golden run, and
+    /// reports a budget error if the program does not halt in time.
+    pub fn prepare_program(
+        program: Program,
+        max_instrs: u64,
+        config: CampaignConfig,
+    ) -> Result<Self, SesError> {
         let start = Instant::now();
-        let program = synthesize(spec);
-        let golden = Emulator::new(&program).run(spec.target_dynamic * 4)?;
+        let golden = Emulator::new(&program).run(max_instrs)?;
         if !golden.halted() {
             return Err(SesError::BudgetExceeded {
                 resource: "instructions",
-                limit: spec.target_dynamic * 4,
+                limit: max_instrs,
             });
         }
         let golden_words = golden.entries().iter().map(|d| encode(&d.instr)).collect();

@@ -132,12 +132,12 @@ impl CampaignReport {
     }
 
     /// Half-width of the 95 % normal-approximation confidence interval for
-    /// an estimated proportion `p` at this sample size.
+    /// an estimated proportion `p` at this sample size (delegates to the
+    /// shared [`ses_metrics::binomial_ci95`] helper, so campaign reports,
+    /// the differential oracle and the cross-validation tests agree on one
+    /// tolerance).
     pub fn ci95(&self, p: f64) -> f64 {
-        if self.total == 0 {
-            return 0.0;
-        }
-        1.96 * (p * (1.0 - p) / self.total as f64).sqrt()
+        ses_metrics::binomial_ci95(p, u64::from(self.total))
     }
 
     /// Performance accounting for the run that produced this report

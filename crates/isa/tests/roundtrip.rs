@@ -1,0 +1,155 @@
+//! Property tests: every constructible instruction survives the full
+//! `asm text -> assemble -> encode -> decode -> fields` pipeline
+//! unchanged, per opcode class.
+
+use proptest::prelude::*;
+use ses_isa::{
+    assemble, bit_kind, decode, disassemble, encode, field_mask, BitKind, Instruction, Opcode,
+    Program, BIT_COUNT,
+};
+use ses_types::{Pred, Reg};
+
+const ALU3: [Opcode; 8] = [
+    Opcode::Add,
+    Opcode::Sub,
+    Opcode::Mul,
+    Opcode::And,
+    Opcode::Or,
+    Opcode::Xor,
+    Opcode::Shl,
+    Opcode::Shr,
+];
+
+fn reg() -> impl Strategy<Value = Reg> {
+    (0u8..64).prop_map(Reg::new)
+}
+
+fn pred() -> impl Strategy<Value = Pred> {
+    (0u8..8).prop_map(Pred::new)
+}
+
+/// Branch-style offsets: word-aligned, either direction.
+fn offset() -> impl Strategy<Value = i32> {
+    (-256i32..256).prop_map(|w| w * 8)
+}
+
+/// One random instruction of each opcode class, guard included.
+fn arb_instr() -> impl Strategy<Value = Instruction> {
+    prop_oneof![
+        // 3-register ALU group.
+        (0usize..ALU3.len(), reg(), reg(), reg(), pred())
+            .prop_map(|(i, d, s1, s2, qp)| Instruction::alu(ALU3[i], d, s1, s2).guarded_by(qp)),
+        // Immediate ALU forms.
+        (reg(), reg(), any::<i32>(), pred())
+            .prop_map(|(d, s, imm, qp)| Instruction::addi(d, s, imm).guarded_by(qp)),
+        (reg(), any::<i32>(), pred())
+            .prop_map(|(d, imm, qp)| Instruction::movi(d, imm).guarded_by(qp)),
+        // Compares (predicate writers).
+        (pred(), reg(), reg(), pred())
+            .prop_map(|(pd, s1, s2, qp)| Instruction::cmp_eq(pd, s1, s2).guarded_by(qp)),
+        (pred(), reg(), reg(), pred())
+            .prop_map(|(pd, s1, s2, qp)| Instruction::cmp_lt(pd, s1, s2).guarded_by(qp)),
+        // Memory class.
+        (reg(), reg(), any::<i32>(), pred())
+            .prop_map(|(d, b, imm, qp)| Instruction::ld(d, b, imm).guarded_by(qp)),
+        (reg(), reg(), any::<i32>(), pred())
+            .prop_map(|(b, d, imm, qp)| Instruction::st(b, d, imm).guarded_by(qp)),
+        // Control class.
+        (pred(), offset()).prop_map(|(qp, off)| Instruction::br(qp, off)),
+        offset().prop_map(Instruction::jmp),
+        (reg(), offset(), pred())
+            .prop_map(|(link, off, qp)| Instruction::call(link, off).guarded_by(qp)),
+        (reg(), pred()).prop_map(|(link, qp)| Instruction::ret(link).guarded_by(qp)),
+        // Neutral class.
+        pred().prop_map(|qp| Instruction::nop().guarded_by(qp)),
+        pred().prop_map(|qp| Instruction::hint().guarded_by(qp)),
+        (reg(), any::<i32>(), pred())
+            .prop_map(|(b, imm, qp)| Instruction::prefetch(b, imm).guarded_by(qp)),
+        // I/O and halt.
+        (reg(), pred()).prop_map(|(s, qp)| Instruction::out(s).guarded_by(qp)),
+        pred().prop_map(|qp| Instruction::halt().guarded_by(qp)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn encode_decode_is_identity(instr in arb_instr()) {
+        let word = encode(&instr);
+        let back = decode(word).expect("constructed instructions must decode");
+        prop_assert_eq!(back, instr);
+        // Encoding is canonical: re-encoding the decode reproduces the word.
+        prop_assert_eq!(encode(&back), word);
+    }
+
+    #[test]
+    fn asm_text_roundtrips(instrs in proptest::collection::vec(arb_instr(), 1..24)) {
+        let program = Program::new(instrs);
+        let text = disassemble(&program);
+        let back = assemble(&text)
+            .unwrap_or_else(|e| panic!("disassembly must reassemble: {e}\n{text}"));
+        prop_assert_eq!(back, program);
+    }
+
+    #[test]
+    fn every_bit_lands_in_the_field_its_kind_claims(instr in arb_instr()) {
+        // Flipping a bit classified as a given kind must change exactly the
+        // corresponding decoded field (or kill the decode, for opcode and
+        // reserved bits).
+        let word = encode(&instr);
+        for bit in 0..BIT_COUNT {
+            let kind = bit_kind(bit);
+            prop_assert_ne!(
+                field_mask(kind) & (1u64 << bit),
+                0,
+                "bit {} not inside its own field mask",
+                bit
+            );
+            let flipped = word ^ (1u64 << bit);
+            match (kind, decode(flipped)) {
+                (BitKind::Opcode | BitKind::Reserved, Err(_)) => {} // detected
+                (_, Err(_)) => prop_assert!(
+                    matches!(kind, BitKind::Opcode | BitKind::Reserved),
+                    "flip of {:?} bit {} must stay decodable",
+                    kind,
+                    bit
+                ),
+                (_, Ok(mutated)) => {
+                    let unchanged = match kind {
+                        BitKind::Opcode => mutated.op == instr.op,
+                        BitKind::Guard => mutated.qp == instr.qp,
+                        BitKind::DestSpec => mutated.dest == instr.dest,
+                        BitKind::SrcSpec => {
+                            mutated.src1 == instr.src1 && mutated.src2 == instr.src2
+                        }
+                        BitKind::PredDestSpec => mutated.pdest == instr.pdest,
+                        BitKind::Immediate => mutated.imm == instr.imm,
+                        BitKind::Reserved => true,
+                    };
+                    prop_assert!(
+                        !unchanged,
+                        "flipping {:?} bit {} did not change that field",
+                        kind,
+                        bit
+                    );
+                    // And no other field moved.
+                    let mut reverted = mutated;
+                    match kind {
+                        BitKind::Opcode => reverted.op = instr.op,
+                        BitKind::Guard => reverted.qp = instr.qp,
+                        BitKind::DestSpec => reverted.dest = instr.dest,
+                        BitKind::SrcSpec => {
+                            reverted.src1 = instr.src1;
+                            reverted.src2 = instr.src2;
+                        }
+                        BitKind::PredDestSpec => reverted.pdest = instr.pdest,
+                        BitKind::Immediate => reverted.imm = instr.imm,
+                        BitKind::Reserved => {}
+                    }
+                    prop_assert_eq!(reverted, instr, "bit {} leaked across fields", bit);
+                }
+            }
+        }
+    }
+}

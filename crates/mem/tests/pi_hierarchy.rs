@@ -1,0 +1,193 @@
+//! Pi-bit conservation through the cache hierarchy.
+//!
+//! The paper's "pi on memory" configuration (§4.3) rides the poison bit
+//! on cache blocks: a store commits its pi bit into the L0 block, and
+//! every dirty writeback carries the bit one level outward until it
+//! reaches memory. These tests model that flow with one [`PiDirectory`]
+//! per level chained on the `dirty_victim` eviction notifications of the
+//! raw [`Cache`] API, and check the property the whole scheme rests on:
+//! **a poison mark is never silently lost** — and, via [`Hierarchy`],
+//! the inclusive-fill invariant the timing model assumes.
+
+use std::collections::HashSet;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use ses_mem::{
+    AccessKind, Cache, CacheConfig, Hierarchy, HierarchyConfig, Level, LookupOutcome, PiDirectory,
+};
+use ses_types::Addr;
+
+const BLOCK: u64 = 64;
+
+/// Tiny caches so random streams evict constantly: 4-set direct-mapped
+/// L0, then 2-way levels growing by 4x.
+fn tiny(size: u64, assoc: usize) -> CacheConfig {
+    CacheConfig {
+        size_bytes: size,
+        block_bytes: BLOCK,
+        associativity: assoc,
+        hit_latency: 1,
+    }
+}
+
+/// A three-level cache stack with a pi directory per level plus a memory
+/// escape set, propagating marks on dirty writebacks exactly as the
+/// paper's block-pi bit would travel.
+struct PiStack {
+    levels: Vec<(Cache, PiDirectory)>,
+    memory: HashSet<u64>,
+}
+
+impl PiStack {
+    fn new() -> Self {
+        let configs = [tiny(256, 1), tiny(1024, 2), tiny(4096, 2)];
+        PiStack {
+            levels: configs
+                .into_iter()
+                .map(|c| (Cache::new(c).unwrap(), PiDirectory::new(BLOCK)))
+                .collect(),
+            memory: HashSet::new(),
+        }
+    }
+
+    /// Presents an access level by level (as `Hierarchy::access` does),
+    /// carrying pi marks outward with every dirty victim.
+    fn access(&mut self, addr: Addr, is_write: bool, poison: bool) {
+        let mut evictions: Vec<(usize, Addr)> = Vec::new();
+        for (i, (cache, _)) in self.levels.iter_mut().enumerate() {
+            match cache.access(addr, is_write) {
+                LookupOutcome::Hit => break,
+                LookupOutcome::Miss { dirty_victim } => {
+                    if let Some(v) = dirty_victim {
+                        evictions.push((i, v));
+                    }
+                }
+            }
+        }
+        // Writebacks: a dirty victim leaving level i deposits its pi mark
+        // one level outward (or in memory, from the last level).
+        for (i, victim) in evictions {
+            if self.levels[i].1.is_marked(victim) {
+                self.levels[i].1.clear(victim);
+                match self.levels.get_mut(i + 1) {
+                    Some((_, outer)) => outer.mark(victim),
+                    None => {
+                        self.memory.insert(victim.block_base(BLOCK).as_u64());
+                    }
+                }
+            }
+        }
+        if is_write && poison {
+            self.levels[0].1.mark(addr);
+        }
+    }
+
+    /// Whether the pi mark for `addr` survives anywhere in the stack.
+    fn marked_somewhere(&self, addr: Addr) -> bool {
+        self.levels.iter().any(|(_, d)| d.is_marked(addr))
+            || self.memory.contains(&addr.block_base(BLOCK).as_u64())
+    }
+}
+
+#[test]
+fn pi_travels_outward_on_dirty_writebacks() {
+    let mut stack = PiStack::new();
+    let poisoned = Addr::new(0x1_0000);
+    stack.access(poisoned, true, true);
+    assert!(stack.levels[0].1.is_marked(poisoned), "mark starts in L0");
+
+    // Walk conflicting blocks through the same L0 set (4 sets of 64 B,
+    // direct-mapped: stride 256 B aliases) until the poisoned block is
+    // written back.
+    let mut conflict = 0;
+    while stack.levels[0].1.is_marked(poisoned) {
+        conflict += 1;
+        assert!(conflict < 64, "poisoned block never left L0");
+        stack.access(Addr::new(0x1_0000 + conflict * 256), true, false);
+    }
+    assert!(
+        stack.levels[1].1.is_marked(poisoned),
+        "writeback must deposit the mark in L1"
+    );
+    assert!(stack.marked_somewhere(poisoned));
+
+    // Keep thrashing until the mark escapes L1, then L2, then to memory.
+    let mut wave = 0;
+    while !stack.memory.contains(&poisoned.block_base(BLOCK).as_u64()) {
+        wave += 1;
+        assert!(wave < 4096, "mark must eventually reach memory");
+        stack.access(Addr::new(0x1_0000 + wave * 256), true, false);
+    }
+    assert!(
+        !stack.levels.iter().any(|(_, d)| d.is_marked(poisoned)),
+        "mark left the caches when it reached memory"
+    );
+}
+
+#[test]
+fn random_streams_never_lose_a_poison_mark() {
+    let mut rng = StdRng::seed_from_u64(0x9155);
+    let mut stack = PiStack::new();
+    let mut poisoned: HashSet<u64> = HashSet::new();
+
+    for step in 0..20_000u64 {
+        let addr = Addr::new(u64::from(rng.gen_range(0..512u32)) * 8);
+        let is_write = rng.gen_range(0..3u32) == 0;
+        let poison = is_write && rng.gen_range(0..8u32) == 0;
+        stack.access(addr, is_write, poison);
+        if poison {
+            poisoned.insert(addr.block_base(BLOCK).as_u64());
+        }
+        if step % 500 == 0 {
+            for &p in &poisoned {
+                assert!(
+                    stack.marked_somewhere(Addr::new(p)),
+                    "step {step}: poison mark for {p:#x} vanished"
+                );
+            }
+        }
+    }
+    assert!(!poisoned.is_empty(), "stream must have poisoned something");
+    for &p in &poisoned {
+        assert!(stack.marked_somewhere(Addr::new(p)));
+    }
+    // Marked population is bounded by what we poisoned: no spurious marks.
+    let cache_marks: usize = stack.levels.iter().map(|(_, d)| d.marked_count()).sum();
+    assert!(cache_marks + stack.memory.len() <= poisoned.len() * 2);
+}
+
+#[test]
+fn hierarchy_fills_are_inclusive_under_random_streams() {
+    let mut rng = StdRng::seed_from_u64(0x17C);
+    let mut h = Hierarchy::new(HierarchyConfig::default());
+    for _ in 0..5_000u64 {
+        let addr = Addr::new(u64::from(rng.gen::<u32>()) % (1 << 20));
+        let kind = match rng.gen_range(0..3u32) {
+            0 => AccessKind::Store,
+            1 => AccessKind::Prefetch,
+            _ => AccessKind::Load,
+        };
+        let r = h.access(addr, kind);
+        // Inclusive fill: after any access the block is resident at every
+        // level on the refill path.
+        for level in [Level::L0, Level::L1, Level::L2] {
+            assert!(
+                h.probe(addr, level),
+                "{addr} not resident at {level:?} right after access"
+            );
+        }
+        assert!(h.probe(addr, Level::Memory), "memory backs everything");
+        // The reported hit level is consistent with missed_in().
+        for level in [Level::L0, Level::L1, Level::L2] {
+            assert_eq!(r.missed_in(level), r.hit_level > level);
+        }
+    }
+    // Stats are coherent: every L1 access is an L0 miss, and so on down.
+    let l0 = h.stats(Level::L0);
+    let l1 = h.stats(Level::L1);
+    let l2 = h.stats(Level::L2);
+    assert_eq!(l0.hits + l0.misses, 5_000);
+    assert_eq!(l1.hits + l1.misses, l0.misses);
+    assert_eq!(l2.hits + l2.misses, l1.misses);
+}

@@ -30,6 +30,31 @@ pub use model::{RatePoint, ReliabilityModel};
 pub use table::Table;
 pub use telemetry::{JsonValue, TelemetryLevel, SCHEMA_VERSION};
 
+/// Half-width of the 95 % normal-approximation confidence interval for an
+/// estimated proportion `p` over `n` Bernoulli samples (0 when `n` is 0).
+///
+/// This is the single tolerance used everywhere an injection-estimated AVF
+/// is compared against an analytic one: the fault-campaign reports, the
+/// differential oracle's injection cross-check, and the cross-validation
+/// tests all call this same function, so their agreement criteria cannot
+/// drift apart.
+///
+/// # Example
+///
+/// ```
+/// use ses_metrics::binomial_ci95;
+///
+/// let ci = binomial_ci95(0.3, 400);
+/// assert!((ci - 1.96 * (0.3f64 * 0.7 / 400.0).sqrt()).abs() < 1e-12);
+/// assert_eq!(binomial_ci95(0.3, 0), 0.0);
+/// ```
+pub fn binomial_ci95(p: f64, n: u64) -> f64 {
+    if n == 0 {
+        return 0.0;
+    }
+    1.96 * (p * (1.0 - p) / n as f64).sqrt()
+}
+
 /// Arithmetic mean of an iterator of f64 values (0 when empty).
 pub fn mean(values: impl IntoIterator<Item = f64>) -> f64 {
     let mut sum = 0.0;

@@ -1,0 +1,443 @@
+//! The lockstep differential check.
+
+use std::fmt;
+
+use ses_arch::Emulator;
+use ses_avf::{AvfAnalysis, DeadMap};
+use ses_faults::{Campaign, CampaignConfig};
+use ses_isa::{Instruction, Program};
+use ses_pipeline::{DetectionModel, Pipeline, PipelineConfig};
+use ses_workloads::FuzzProgramSpec;
+
+/// The ways the two models (or the layers above them) can disagree,
+/// ordered roughly by where in the stack the check lives. Shrinking keys
+/// on this: a candidate only counts as a reproduction if it fails with
+/// the *same* kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DivergenceKind {
+    /// The functional emulator itself faulted (bad fetch, stack misuse).
+    EmulatorFault,
+    /// The program did not reach `halt` within the dynamic budget.
+    NoHalt,
+    /// The timing run exhausted its cycle budget before draining.
+    TimingBudget,
+    /// Commit counts differ between trace and pipeline.
+    CommitCount,
+    /// Retired residencies do not cover the trace indices exactly once
+    /// in order.
+    StreamCoverage,
+    /// A retired slot carried a different static instruction than the
+    /// trace at the same index.
+    InstrMismatch,
+    /// The pipeline and emulator disagree on a guard outcome.
+    PredicationMismatch,
+    /// A committed trace record contradicts the ISA metadata.
+    TraceRecord,
+    /// Bit-cycle accounting failed exact conservation.
+    BitCycleConservation,
+    /// DUE AVF is not SDC AVF + false-DUE AVF.
+    DueDecomposition,
+    /// Bit-state fractions do not sum to one.
+    StateFractions,
+    /// The injection-estimated AVF fell outside the binomial confidence
+    /// interval around the analytic AVF.
+    InjectionEstimate,
+}
+
+impl fmt::Display for DivergenceKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DivergenceKind::EmulatorFault => "emulator-fault",
+            DivergenceKind::NoHalt => "no-halt",
+            DivergenceKind::TimingBudget => "timing-budget",
+            DivergenceKind::CommitCount => "commit-count",
+            DivergenceKind::StreamCoverage => "stream-coverage",
+            DivergenceKind::InstrMismatch => "instr-mismatch",
+            DivergenceKind::PredicationMismatch => "predication-mismatch",
+            DivergenceKind::TraceRecord => "trace-record",
+            DivergenceKind::BitCycleConservation => "bit-cycle-conservation",
+            DivergenceKind::DueDecomposition => "due-decomposition",
+            DivergenceKind::StateFractions => "state-fractions",
+            DivergenceKind::InjectionEstimate => "injection-estimate",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A single detected disagreement.
+#[derive(Debug, Clone)]
+pub struct Divergence {
+    /// What went wrong.
+    pub kind: DivergenceKind,
+    /// Trace index the disagreement anchors to, when it is per-instruction.
+    pub trace_idx: Option<u64>,
+    /// Human-readable specifics.
+    pub detail: String,
+}
+
+impl Divergence {
+    fn new(kind: DivergenceKind, trace_idx: Option<u64>, detail: impl Into<String>) -> Self {
+        Divergence {
+            kind,
+            trace_idx,
+            detail: detail.into(),
+        }
+    }
+}
+
+impl fmt::Display for Divergence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.trace_idx {
+            Some(i) => write!(f, "{} at trace index {}: {}", self.kind, i, self.detail),
+            None => write!(f, "{}: {}", self.kind, self.detail),
+        }
+    }
+}
+
+/// Optional statistical cross-check: inject `injections` faults and
+/// require the estimated DUE AVF to land within the 95 % binomial
+/// confidence interval (plus `slack`) of the analytic DUE AVF.
+#[derive(Debug, Clone, Copy)]
+pub struct InjectionCheck {
+    /// Number of faults to inject.
+    pub injections: u32,
+    /// Campaign sampling seed.
+    pub seed: u64,
+    /// Absolute slack added on top of the confidence interval, absorbing
+    /// the deliberate modelling simplifications listed in EXPERIMENTS.md.
+    pub slack: f64,
+}
+
+impl Default for InjectionCheck {
+    fn default() -> Self {
+        InjectionCheck {
+            injections: 60,
+            seed: 0x0DD5,
+            slack: 0.06,
+        }
+    }
+}
+
+/// Oracle parameters.
+#[derive(Debug, Clone)]
+pub struct OracleConfig {
+    /// Dynamic-instruction budget for the functional run.
+    pub dynamic_budget: u64,
+    /// Timing-model configuration for the pipeline run.
+    pub pipeline: PipelineConfig,
+    /// When set, also run the statistical injection cross-check.
+    pub injection: Option<InjectionCheck>,
+}
+
+impl Default for OracleConfig {
+    fn default() -> Self {
+        OracleConfig {
+            dynamic_budget: FuzzProgramSpec::default().dynamic_budget(),
+            pipeline: PipelineConfig::default(),
+            injection: None,
+        }
+    }
+}
+
+/// Summary of a clean check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OracleStats {
+    /// Committed instructions.
+    pub committed: u64,
+    /// Simulated cycles.
+    pub cycles: u64,
+    /// Whether the injection cross-check ran.
+    pub injected: bool,
+}
+
+/// Test-only corruption of the pipeline-side commit stream, applied
+/// *after* reconstruction. Simulates a retirement bug without touching
+/// the engine, so tests can demonstrate the oracle catching and shrinking
+/// a real divergence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mutation {
+    /// Silently lose the `n`-th committed instruction.
+    DropCommit(usize),
+    /// Flip the recorded guard outcome of the `n`-th committed instruction.
+    FlipPredication(usize),
+    /// Replace the `n`-th committed instruction with a `nop`, as if the
+    /// wrong static image had been fetched.
+    CorruptInstr(usize),
+}
+
+/// The pipeline-side view of one committed instruction.
+struct CommitRecord {
+    trace_idx: u64,
+    instr: Instruction,
+    falsely_predicated: bool,
+}
+
+/// Runs the full differential check on one program.
+///
+/// # Errors
+///
+/// Returns the first [`Divergence`] found, checked in stack order:
+/// functional run, timing run, lockstep stream diff, trace-record
+/// consistency, AVF invariants, then the optional injection estimate.
+pub fn check_program(program: &Program, config: &OracleConfig) -> Result<OracleStats, Divergence> {
+    check_program_mutated(program, config, None)
+}
+
+/// [`check_program`] with an optional test-only [`Mutation`] applied to
+/// the reconstructed commit stream.
+///
+/// # Errors
+///
+/// As [`check_program`]; with a mutation, the corresponding divergence.
+pub fn check_program_mutated(
+    program: &Program,
+    config: &OracleConfig,
+    mutation: Option<Mutation>,
+) -> Result<OracleStats, Divergence> {
+    // 1. Architectural truth.
+    let trace = Emulator::new(program)
+        .run(config.dynamic_budget)
+        .map_err(|e| Divergence::new(DivergenceKind::EmulatorFault, None, e.to_string()))?;
+    if !trace.halted() {
+        return Err(Divergence::new(
+            DivergenceKind::NoHalt,
+            None,
+            format!(
+                "no halt within {} dynamic instructions",
+                config.dynamic_budget
+            ),
+        ));
+    }
+
+    // 2. Timing model.
+    let result = Pipeline::new(config.pipeline.clone()).run(program, &trace);
+    if result.budget_exhausted {
+        return Err(Divergence::new(
+            DivergenceKind::TimingBudget,
+            None,
+            "pipeline exhausted its cycle budget",
+        ));
+    }
+
+    // 3. Reconstruct the committed stream as the timing model saw it.
+    let mut stream: Vec<CommitRecord> = result
+        .committed_stream()
+        .iter()
+        .map(|r| CommitRecord {
+            trace_idx: r.trace_idx().expect("retired residencies are correct-path"),
+            instr: r.instr,
+            falsely_predicated: r.falsely_predicated,
+        })
+        .collect();
+    apply_mutation(&mut stream, mutation);
+
+    // 4. Lockstep diff against the trace.
+    if result.committed != trace.len() as u64 || stream.len() != trace.len() {
+        return Err(Divergence::new(
+            DivergenceKind::CommitCount,
+            None,
+            format!(
+                "trace committed {}, pipeline retired {} ({} in stream)",
+                trace.len(),
+                result.committed,
+                stream.len()
+            ),
+        ));
+    }
+    for (i, (rec, entry)) in stream.iter().zip(trace.entries()).enumerate() {
+        let i = i as u64;
+        if rec.trace_idx != i {
+            return Err(Divergence::new(
+                DivergenceKind::StreamCoverage,
+                Some(i),
+                format!("expected trace index {i}, retired slot carries {}", rec.trace_idx),
+            ));
+        }
+        if rec.instr != entry.instr {
+            return Err(Divergence::new(
+                DivergenceKind::InstrMismatch,
+                Some(i),
+                format!("pipeline retired `{}`, emulator committed `{}`", rec.instr, entry.instr),
+            ));
+        }
+        if rec.falsely_predicated == entry.executed {
+            return Err(Divergence::new(
+                DivergenceKind::PredicationMismatch,
+                Some(i),
+                format!(
+                    "pipeline saw guard {}, emulator executed = {}",
+                    if rec.falsely_predicated { "false" } else { "true" },
+                    entry.executed
+                ),
+            ));
+        }
+        entry
+            .check_static_consistency()
+            .map_err(|e| Divergence::new(DivergenceKind::TraceRecord, Some(i), e))?;
+    }
+
+    // 5. AVF-layer invariants.
+    let dead = DeadMap::analyze(&trace);
+    let avf = AvfAnalysis::new(&result, &dead);
+    if !avf.decomposition().is_conserved() {
+        let d = avf.decomposition();
+        return Err(Divergence::new(
+            DivergenceKind::BitCycleConservation,
+            None,
+            format!(
+                "ace {} + unace {} + unread {} + idle {} != total {}",
+                d.ace,
+                d.unace_total(),
+                d.unread,
+                d.idle,
+                d.total
+            ),
+        ));
+    }
+    let sdc = avf.sdc_avf().fraction();
+    let false_due = avf.false_due_avf().fraction();
+    let due = avf.due_avf().fraction();
+    if (sdc + false_due - due).abs() > 1e-12 {
+        return Err(Divergence::new(
+            DivergenceKind::DueDecomposition,
+            None,
+            format!("DUE {due} != SDC {sdc} + false DUE {false_due}"),
+        ));
+    }
+    let s = avf.state_fractions();
+    if (s.idle + s.unread + s.unace + s.ace - 1.0).abs() > 1e-9 {
+        return Err(Divergence::new(
+            DivergenceKind::StateFractions,
+            None,
+            format!(
+                "fractions sum to {}",
+                s.idle + s.unread + s.unace + s.ace
+            ),
+        ));
+    }
+
+    // 6. Optional statistical cross-check.
+    let mut injected = false;
+    if let Some(ic) = config.injection {
+        injected = true;
+        let campaign = Campaign::prepare_program(
+            program.clone(),
+            config.dynamic_budget,
+            CampaignConfig {
+                injections: ic.injections,
+                seed: ic.seed,
+                // Parity makes every consumed strike a DUE, which is the
+                // regime where the statistical estimate is an unbiased
+                // sample of the analytic DUE AVF (see
+                // tests/cross_validation.rs).
+                detection: DetectionModel::Parity { tracking: None },
+                pipeline: config.pipeline.clone(),
+                threads: 1,
+                ..CampaignConfig::default()
+            },
+        )
+        .map_err(|e| {
+            Divergence::new(
+                DivergenceKind::InjectionEstimate,
+                None,
+                format!("campaign preparation failed: {e}"),
+            )
+        })?;
+        let report = campaign.run();
+        let est = report.due_avf_estimate();
+        let tol = report.ci95(est) + ic.slack;
+        if (est - due).abs() > tol {
+            return Err(Divergence::new(
+                DivergenceKind::InjectionEstimate,
+                None,
+                format!(
+                    "injection DUE estimate {est:.4} vs analytic {due:.4} exceeds tolerance {tol:.4}"
+                ),
+            ));
+        }
+    }
+
+    Ok(OracleStats {
+        committed: result.committed,
+        cycles: result.cycles,
+        injected,
+    })
+}
+
+fn apply_mutation(stream: &mut Vec<CommitRecord>, mutation: Option<Mutation>) {
+    match mutation {
+        None => {}
+        Some(Mutation::DropCommit(n)) if n < stream.len() => {
+            stream.remove(n);
+        }
+        Some(Mutation::DropCommit(_)) => {}
+        Some(Mutation::FlipPredication(n)) => {
+            if let Some(rec) = stream.get_mut(n) {
+                rec.falsely_predicated = !rec.falsely_predicated;
+            }
+        }
+        Some(Mutation::CorruptInstr(n)) => {
+            if let Some(rec) = stream.get_mut(n) {
+                rec.instr = Instruction::nop();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ses_workloads::{fuzz_program, synthesize, WorkloadSpec};
+
+    #[test]
+    fn clean_programs_pass() {
+        for seed in 0..10u64 {
+            let program = fuzz_program(seed);
+            let stats = check_program(&program, &OracleConfig::default())
+                .unwrap_or_else(|d| panic!("seed {seed}: {d}"));
+            assert!(stats.committed > 0);
+            assert!(!stats.injected);
+        }
+    }
+
+    #[test]
+    fn calibrated_workloads_pass_too() {
+        let spec = WorkloadSpec::quick("oracle-smoke", 0x5EED);
+        let program = synthesize(&spec);
+        let config = OracleConfig {
+            dynamic_budget: spec.target_dynamic * 6,
+            ..OracleConfig::default()
+        };
+        check_program(&program, &config).unwrap();
+    }
+
+    #[test]
+    fn mutations_are_caught_with_the_right_kind() {
+        let program = fuzz_program(3);
+        let config = OracleConfig::default();
+        let cases = [
+            (Mutation::DropCommit(4), DivergenceKind::CommitCount),
+            (
+                Mutation::FlipPredication(4),
+                DivergenceKind::PredicationMismatch,
+            ),
+            (Mutation::CorruptInstr(0), DivergenceKind::InstrMismatch),
+        ];
+        for (mutation, expected) in cases {
+            let d = check_program_mutated(&program, &config, Some(mutation))
+                .expect_err("mutation must be detected");
+            assert_eq!(d.kind, expected, "{mutation:?} -> {d}");
+        }
+    }
+
+    #[test]
+    fn injection_cross_check_agrees() {
+        let program = fuzz_program(1);
+        let config = OracleConfig {
+            injection: Some(InjectionCheck::default()),
+            ..OracleConfig::default()
+        };
+        let stats = check_program(&program, &config).unwrap();
+        assert!(stats.injected);
+    }
+}

@@ -1,0 +1,44 @@
+//! Differential oracle and program fuzzer.
+//!
+//! The repository carries two independent models of the SES-64 machine:
+//! the functional emulator in `ses-arch` (architectural truth) and the
+//! trace-driven timing engine in `ses-pipeline` (what the AVF and
+//! fault-injection layers actually observe). Every result in the paper
+//! reproduction rests on those two agreeing instruction-by-instruction,
+//! yet nothing in the seed enforced that beyond aggregate counts.
+//!
+//! This crate closes the gap with a three-part harness:
+//!
+//! * [`check_program`] — the lockstep differential oracle. It runs one
+//!   program through both models and diffs the committed architectural
+//!   stream (instruction identity, predication outcome, trace coverage,
+//!   commit count), cross-checks every committed record against the ISA
+//!   metadata, and then verifies the AVF layer's own conservation laws
+//!   (exact bit-cycle partition, DUE = SDC + false DUE, state fractions
+//!   summing to one). Optionally it runs a small statistical
+//!   fault-injection campaign and requires the estimate to agree with the
+//!   analytic AVF within a binomial confidence interval.
+//! * [`shrink`] — delta-debugging of failing programs down to minimal
+//!   reproducers, preserving the divergence kind so a shrink can never
+//!   wander onto an unrelated failure.
+//! * [`run_fuzz`] — the seeded driver: generates random programs with
+//!   [`ses_workloads::fuzz_program_with`], checks each one, and shrinks
+//!   whatever fails. Fully deterministic for a given seed.
+//!
+//! The [`Mutation`] hook exists so tests can *prove* the oracle catches
+//! real divergences: it corrupts the pipeline-side commit stream after
+//! the fact, simulating a retirement bug without touching the engine.
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+mod check;
+mod driver;
+mod shrink;
+
+pub use check::{
+    check_program, check_program_mutated, Divergence, DivergenceKind, InjectionCheck, Mutation,
+    OracleConfig, OracleStats,
+};
+pub use driver::{run_fuzz, splitmix64, FuzzConfig, FuzzFailure, FuzzReport};
+pub use shrink::{shrink, ShrinkOutcome};

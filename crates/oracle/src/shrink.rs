@@ -1,0 +1,187 @@
+//! Delta-debugging of failing programs to minimal reproducers.
+//!
+//! The shrinker works on the static instruction list. Candidates are
+//! accepted only when they still fail with the *same*
+//! [`DivergenceKind`] as the original — a candidate whose broken branch
+//! offsets crash the emulator, or that stops halting, fails with a
+//! different kind and is rejected, so shrinking can never drift onto an
+//! unrelated bug.
+
+use ses_isa::{Instruction, Opcode, Program};
+
+use crate::check::{check_program_mutated, DivergenceKind, Mutation, OracleConfig};
+
+/// Result of a shrink run.
+#[derive(Debug, Clone)]
+pub struct ShrinkOutcome {
+    /// The smallest reproducing program found.
+    pub program: Program,
+    /// Static instructions in the original.
+    pub original_len: usize,
+    /// Oracle evaluations spent.
+    pub attempts: usize,
+}
+
+/// Caps the number of oracle evaluations one shrink may spend. Each
+/// evaluation is a full emulate + timing run of a candidate, so this
+/// bounds worst-case shrink time on pathological programs.
+const MAX_ATTEMPTS: usize = 3000;
+
+struct Shrinker<'a> {
+    config: &'a OracleConfig,
+    mutation: Option<Mutation>,
+    kind: DivergenceKind,
+    data: Vec<ses_isa::DataSegment>,
+    attempts: usize,
+}
+
+impl Shrinker<'_> {
+    fn rebuild(&self, code: Vec<Instruction>) -> Program {
+        let mut p = Program::new(code);
+        for seg in &self.data {
+            p = p.with_data(seg.clone());
+        }
+        p
+    }
+
+    fn reproduces(&mut self, code: &[Instruction]) -> bool {
+        if code.is_empty() || self.attempts >= MAX_ATTEMPTS {
+            return false;
+        }
+        self.attempts += 1;
+        let candidate = self.rebuild(code.to_vec());
+        matches!(
+            check_program_mutated(&candidate, self.config, self.mutation),
+            Err(d) if d.kind == self.kind
+        )
+    }
+}
+
+/// Shrinks `program` to a minimal form that still fails the oracle with
+/// divergence kind `kind` under the given configuration and mutation.
+///
+/// Three passes run to fixpoint: tail truncation (cut the suffix,
+/// sealing the program with `halt`), delta-debugging chunk removal at
+/// halving granularity, and `nop` substitution of the survivors. The
+/// original program is returned unchanged if no smaller reproduction is
+/// found (including when `program` itself no longer reproduces).
+pub fn shrink(
+    program: &Program,
+    config: &OracleConfig,
+    mutation: Option<Mutation>,
+    kind: DivergenceKind,
+) -> ShrinkOutcome {
+    let mut sh = Shrinker {
+        config,
+        mutation,
+        kind,
+        data: program.data().to_vec(),
+        attempts: 0,
+    };
+    let mut code: Vec<Instruction> = program.code().to_vec();
+    let original_len = code.len();
+
+    loop {
+        let before = code.clone();
+        truncate_pass(&mut sh, &mut code);
+        removal_pass(&mut sh, &mut code);
+        nop_pass(&mut sh, &mut code);
+        if code == before || sh.attempts >= MAX_ATTEMPTS {
+            break;
+        }
+    }
+
+    ShrinkOutcome {
+        program: sh.rebuild(code),
+        original_len,
+        attempts: sh.attempts,
+    }
+}
+
+/// Keep only a prefix, sealed with `halt`. Tries aggressively short
+/// prefixes first.
+fn truncate_pass(sh: &mut Shrinker<'_>, code: &mut Vec<Instruction>) {
+    let mut keep = 1usize;
+    while keep < code.len() {
+        let mut candidate: Vec<Instruction> = code[..keep].to_vec();
+        if candidate.last().map(|i| i.op) != Some(Opcode::Halt) {
+            candidate.push(Instruction::halt());
+        }
+        if candidate.len() < code.len() && sh.reproduces(&candidate) {
+            *code = candidate;
+            return;
+        }
+        keep = keep.saturating_mul(2);
+    }
+}
+
+/// Classic ddmin-style chunk removal: delete windows of halving size
+/// wherever the result still reproduces.
+fn removal_pass(sh: &mut Shrinker<'_>, code: &mut Vec<Instruction>) {
+    let mut chunk = (code.len() / 2).max(1);
+    loop {
+        let mut i = 0;
+        while i < code.len() && code.len() > 1 {
+            let end = (i + chunk).min(code.len());
+            let mut candidate = code.clone();
+            candidate.drain(i..end);
+            if sh.reproduces(&candidate) {
+                *code = candidate;
+                // Re-test the same position: the next chunk slid into it.
+            } else {
+                i = end;
+            }
+        }
+        if chunk == 1 {
+            break;
+        }
+        chunk /= 2;
+    }
+}
+
+/// Replace surviving instructions with `nop` where the failure persists,
+/// normalising the reproducer so only load-bearing instructions remain
+/// distinctive.
+fn nop_pass(sh: &mut Shrinker<'_>, code: &mut [Instruction]) {
+    for i in 0..code.len() {
+        let op = code[i].op;
+        if op == Opcode::Nop || op == Opcode::Halt {
+            continue;
+        }
+        let saved = code[i];
+        code[i] = Instruction::nop();
+        if !sh.reproduces(code) {
+            code[i] = saved;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::check::{check_program_mutated, Mutation, OracleConfig};
+    use ses_workloads::fuzz_program;
+
+    #[test]
+    fn shrinks_a_dropped_commit_to_a_handful_of_instructions() {
+        let program = fuzz_program(2);
+        let config = OracleConfig::default();
+        let mutation = Some(Mutation::DropCommit(3));
+        let original = check_program_mutated(&program, &config, mutation)
+            .expect_err("mutation must fail the oracle");
+        let out = shrink(&program, &config, mutation, original.kind);
+        assert!(out.program.len() <= 20, "shrunk to {}", out.program.len());
+        assert!(out.program.len() < out.original_len);
+        // The shrunk program still reproduces the same kind.
+        let d = check_program_mutated(&out.program, &config, mutation).unwrap_err();
+        assert_eq!(d.kind, original.kind);
+    }
+
+    #[test]
+    fn shrink_is_a_no_op_for_passing_programs() {
+        let program = fuzz_program(5);
+        let config = OracleConfig::default();
+        let out = shrink(&program, &config, None, DivergenceKind::CommitCount);
+        assert_eq!(out.program.len(), program.len());
+    }
+}

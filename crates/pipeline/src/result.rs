@@ -4,7 +4,7 @@ use ses_mem::LevelStats;
 use ses_types::Ipc;
 
 use crate::detect::FaultOutcome;
-use crate::residency::Residency;
+use crate::residency::{Residency, ResidencyEnd};
 
 /// Everything a timing run produces.
 ///
@@ -69,6 +69,23 @@ impl PipelineResult {
         } else {
             self.mispredictions as f64 / self.predictions as f64
         }
+    }
+
+    /// The residencies that retired (committed architectural state).
+    pub fn retired(&self) -> impl Iterator<Item = &Residency> {
+        self.residencies
+            .iter()
+            .filter(|r| r.end == ResidencyEnd::Retired)
+    }
+
+    /// The committed instruction stream as the timing model saw it: every
+    /// retired residency, ordered by functional-trace index. This is the
+    /// pipeline-side half of the differential oracle's lockstep diff
+    /// against the emulator's [`ses_arch::ExecutionTrace`].
+    pub fn committed_stream(&self) -> Vec<&Residency> {
+        let mut stream: Vec<&Residency> = self.retired().collect();
+        stream.sort_by_key(|r| r.trace_idx());
+        stream
     }
 }
 

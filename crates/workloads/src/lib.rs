@@ -38,12 +38,14 @@
 #![deny(missing_docs)]
 #![deny(rustdoc::broken_intra_doc_links)]
 
+mod fuzz;
 mod kernels;
 mod mix;
 mod spec;
 mod suite;
 mod synth;
 
+pub use fuzz::{fuzz_program, fuzz_program_with, FuzzProgramSpec};
 pub use kernels::{
     bitcount, fibonacci, insertion_sort, kernels, list_chase, matmul, memcpy_checksum, sieve,
     Kernel,

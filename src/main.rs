@@ -18,9 +18,10 @@ use std::process::ExitCode;
 
 use ses_core::telemetry as artifact;
 use ses_core::{
-    compare_suites, mean, run_suite, run_suite_with, run_workload, spec_by_name, suite, Campaign,
-    CampaignConfig, DetectionModel, FalseDueCause, JsonValue, Level, Outcome, Pipeline,
-    PipelineConfig, Table, Technique, TelemetryLevel, TrackingConfig,
+    compare_suites, mean, run_fuzz, run_suite, run_suite_with, run_workload, spec_by_name,
+    splitmix64, suite, Campaign, CampaignConfig, DetectionModel, FalseDueCause, FuzzConfig,
+    JsonValue, Level, Outcome, Pipeline, PipelineConfig, Table, Technique, TelemetryLevel,
+    TrackingConfig,
 };
 
 /// The `--json` / `--telemetry` flags shared by every subcommand.
@@ -489,6 +490,128 @@ fn cmd_run_asm(path: &str, tel: &Telemetry) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_fuzz(args: &[String], tel: &Telemetry) -> Result<(), String> {
+    let mut cfg = FuzzConfig::default();
+    let mut out_dir = PathBuf::from("fuzz-out");
+    let mut corpus_dir: Option<PathBuf> = None;
+    let mut corpus_count = 12u64;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--seed" => {
+                cfg.seed = it
+                    .next()
+                    .ok_or("--seed needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad seed: {e}"))?;
+            }
+            "--iters" => {
+                cfg.iters = it
+                    .next()
+                    .ok_or("--iters needs a count")?
+                    .parse()
+                    .map_err(|e| format!("bad count: {e}"))?;
+            }
+            "--shrink" => cfg.shrink = true,
+            "--no-shrink" => cfg.shrink = false,
+            "--inject-every" => {
+                cfg.injection_every = it
+                    .next()
+                    .ok_or("--inject-every needs a count (0 disables)")?
+                    .parse()
+                    .map_err(|e| format!("bad count: {e}"))?;
+            }
+            "--out" => out_dir = PathBuf::from(it.next().ok_or("--out needs a directory")?),
+            "--emit-corpus" => {
+                corpus_dir = Some(PathBuf::from(
+                    it.next().ok_or("--emit-corpus needs a directory")?,
+                ));
+            }
+            "--corpus-count" => {
+                corpus_count = it
+                    .next()
+                    .ok_or("--corpus-count needs a count")?
+                    .parse()
+                    .map_err(|e| format!("bad count: {e}"))?;
+            }
+            other => return Err(format!("unknown fuzz flag '{other}'")),
+        }
+    }
+
+    if let Some(dir) = corpus_dir {
+        return emit_corpus(&dir, cfg.seed, corpus_count);
+    }
+
+    let report = run_fuzz(&cfg);
+    println!(
+        "fuzz: seed {}  {} programs checked  {} injection cross-checks  {} committed instructions",
+        cfg.seed, report.iterations, report.injection_checks, report.total_committed
+    );
+    if !report.failures.is_empty() {
+        std::fs::create_dir_all(&out_dir).map_err(|e| format!("{}: {e}", out_dir.display()))?;
+        for f in &report.failures {
+            let path = out_dir.join(format!("repro-{:016x}.s", f.program_seed));
+            std::fs::write(&path, f.reproducer_asm())
+                .map_err(|e| format!("{}: {e}", path.display()))?;
+            println!(
+                "FAIL iteration {} (program seed {:#x}): {}\n  reproducer ({} instrs): {}",
+                f.iteration,
+                f.program_seed,
+                f.divergence,
+                f.reproducer().len(),
+                path.display()
+            );
+        }
+    }
+    if tel.active() {
+        let mut doc = JsonValue::object();
+        doc.set("schema_version", ses_core::SCHEMA_VERSION)
+            .set("artifact", "fuzz")
+            .set("telemetry", tel.level.label())
+            .set("seed", cfg.seed)
+            .set("iterations", report.iterations)
+            .set("injection_checks", report.injection_checks)
+            .set("total_committed", report.total_committed)
+            .set("failures", report.failures.len() as u64);
+        tel.emit(&doc)?;
+    }
+    if report.clean() {
+        println!("no divergences found");
+        Ok(())
+    } else {
+        Err(format!(
+            "{} divergence(s) found; reproducers in {}",
+            report.failures.len(),
+            out_dir.display()
+        ))
+    }
+}
+
+/// Generates `count` oracle-clean programs from `seed` and writes them as
+/// replayable `.s` files — the committed regression corpus under
+/// `tests/corpus/` is produced exactly this way.
+fn emit_corpus(dir: &std::path::Path, seed: u64, count: u64) -> Result<(), String> {
+    let spec = ses_workloads::FuzzProgramSpec::default();
+    let oracle = ses_core::OracleConfig::default();
+    std::fs::create_dir_all(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+    for i in 0..count {
+        let program_seed = splitmix64(seed.wrapping_add(i));
+        let program = ses_workloads::fuzz_program_with(program_seed, &spec);
+        ses_core::check_program(&program, &oracle)
+            .map_err(|d| format!("seed {program_seed:#x} fails the oracle: {d}"))?;
+        let text = format!(
+            "; fuzz corpus entry {i}: campaign seed {seed}, program seed {program_seed:#x}\n\
+             ; regenerate with: ser-repro fuzz --seed {seed} --emit-corpus <dir> --corpus-count {count}\n\
+             {}",
+            ses_isa::disassemble(&program)
+        );
+        let path = dir.join(format!("fuzz-{i:02}-{program_seed:016x}.s"));
+        std::fs::write(&path, text).map_err(|e| format!("{}: {e}", path.display()))?;
+        println!("wrote {}", path.display());
+    }
+    Ok(())
+}
+
 fn usage() -> &'static str {
     "usage: ser-repro <command>\n\
      \n\
@@ -500,9 +623,12 @@ fn usage() -> &'static str {
        pet <name>                  PET-buffer size sweep\n\
        run-asm <file.s>            assemble and analyse a SES-64 program\n\
        compare [flags]             suite baseline-vs-variant comparison\n\
+       fuzz [options]              differential fuzz: emulator vs pipeline\n\
      \n\
      machine flags: --squash l0|l1    --throttle l0|l1\n\
      inject options: --injections N   --model none|parity|tracking\n\
+     fuzz options: --seed N  --iters N  --shrink|--no-shrink  --out DIR\n\
+                   --inject-every N  --emit-corpus DIR  --corpus-count N\n\
      artifact flags (any command): --json <path>   --telemetry off|summary|full"
 }
 
@@ -528,6 +654,7 @@ fn dispatch(args: &[String]) -> Result<(), String> {
             None => Err("run-asm needs a source file".into()),
         },
         Some("compare") => cmd_compare(&args[1..], &tel),
+        Some("fuzz") => cmd_fuzz(&args[1..], &tel),
         Some("help") | None => {
             println!("{}", usage());
             Ok(())

@@ -1,0 +1,56 @@
+; fuzz corpus entry 0: campaign seed 1, program seed 0x910a2dec89025cc1
+; regenerate with: ser-repro fuzz --seed 1 --emit-corpus <dir> --corpus-count 12
+(p0) movi r1 = 13    ; +0x0000
+(p0) movi r2 = 0    ; +0x0008
+(p0) movi r3 = 131072    ; +0x0010
+(p0) movi r4 = 1    ; +0x0018
+(p0) movi r10 = 782    ; +0x0020
+(p0) movi r11 = 1432    ; +0x0028
+(p0) movi r12 = 1697    ; +0x0030
+(p0) movi r13 = 648    ; +0x0038
+(p0) movi r14 = 1018    ; +0x0040
+(p0) movi r15 = 1535    ; +0x0048
+(p0) movi r16 = 151    ; +0x0050
+(p0) movi r17 = 434    ; +0x0058
+(p0) movi r18 = 603    ; +0x0060
+(p0) movi r19 = 1250    ; +0x0068
+(p0) st8 [r3 + 0] = r16    ; +0x0070
+(p0) st8 [r3 + 8] = r10    ; +0x0078
+(p0) st8 [r3 + 16] = r10    ; +0x0080
+(p0) st8 [r3 + 24] = r12    ; +0x0088
+(p0) xor r14 = r10, r18    ; +0x0090
+(p0) ld8 r19 = [r3 + 32]    ; +0x0098
+(p0) and r6 = r14, r4    ; +0x00a0
+(p0) cmp.eq p2 = r6, r0    ; +0x00a8
+(p2) mul r12 = r15, r10    ; +0x00b0
+(p2) add r15 = r11, r19    ; +0x00b8
+(p2) xor r11 = r10, r18    ; +0x00c0
+(p0) and r6 = r1, r4    ; +0x00c8
+(p0) cmp.eq p3 = r6, r0    ; +0x00d0
+(p3) out r2    ; +0x00d8
+(p0) movi r20 = 82    ; +0x00e0
+(p0) add r21 = r20, r4    ; +0x00e8
+(p0) mul r22 = r21, r21    ; +0x00f0
+(p0) st8 [r3 + 8] = r17    ; +0x00f8
+(p0) ld8 r13 = [r3 + 32]    ; +0x0100
+(p0) ld8 r11 = [r3 + 32]    ; +0x0108
+(p0) and r6 = r1, r4    ; +0x0110
+(p0) cmp.eq p4 = r6, r0    ; +0x0118
+(p4) out r2    ; +0x0120
+(p0) ld8 r17 = [r3 + 24]    ; +0x0128
+(p0) movi r19 = -1150    ; +0x0130
+(p0) addi r6 = r14, -204    ; +0x0138
+(p0) cmp.lt p5 = r6, r0    ; +0x0140
+(p5) br +16    ; +0x0148
+(p0) add r14 = r19, r4    ; +0x0150
+(p0) st8 [r3 + 32] = r12    ; +0x0158
+(p0) and r6 = r10, r4    ; +0x0160
+(p0) cmp.eq p6 = r6, r0    ; +0x0168
+(p6) xor r16 = r18, r16    ; +0x0170
+(p6) sub r13 = r10, r19    ; +0x0178
+(p0) add r2 = r2, r14    ; +0x0180
+(p0) addi r1 = r1, -1    ; +0x0188
+(p0) cmp.lt p1 = r0, r1    ; +0x0190
+(p1) br -264    ; +0x0198
+(p0) out r2    ; +0x01a0
+(p0) halt    ; +0x01a8

@@ -1,0 +1,63 @@
+; fuzz corpus entry 1: campaign seed 1, program seed 0x975835de1c9756ce
+; regenerate with: ser-repro fuzz --seed 1 --emit-corpus <dir> --corpus-count 12
+(p0) movi r1 = 16    ; +0x0000
+(p0) movi r2 = 0    ; +0x0008
+(p0) movi r3 = 131072    ; +0x0010
+(p0) movi r4 = 1    ; +0x0018
+(p0) movi r10 = 820    ; +0x0020
+(p0) movi r11 = 1041    ; +0x0028
+(p0) movi r12 = 886    ; +0x0030
+(p0) movi r13 = 1428    ; +0x0038
+(p0) movi r14 = 1707    ; +0x0040
+(p0) movi r15 = 900    ; +0x0048
+(p0) movi r16 = 519    ; +0x0050
+(p0) movi r17 = 1516    ; +0x0058
+(p0) movi r18 = 854    ; +0x0060
+(p0) movi r19 = 1471    ; +0x0068
+(p0) st8 [r3 + 0] = r14    ; +0x0070
+(p0) st8 [r3 + 8] = r16    ; +0x0078
+(p0) st8 [r3 + 16] = r12    ; +0x0080
+(p0) st8 [r3 + 24] = r12    ; +0x0088
+(p0) st8 [r3 + 8] = r17    ; +0x0090
+(p0) and r6 = r18, r4    ; +0x0098
+(p0) cmp.eq p2 = r6, r0    ; +0x00a0
+(p2) sub r10 = r15, r13    ; +0x00a8
+(p2) and r16 = r12, r13    ; +0x00b0
+(p0) nop    ; +0x00b8
+(p0) nop    ; +0x00c0
+(p0) and r6 = r1, r4    ; +0x00c8
+(p0) cmp.eq p3 = r6, r0    ; +0x00d0
+(p3) out r2    ; +0x00d8
+(p0) nop    ; +0x00e0
+(p0) add r10 = r19, r16    ; +0x00e8
+(p0) nop    ; +0x00f0
+(p0) and r6 = r11, r4    ; +0x00f8
+(p0) cmp.eq p4 = r6, r0    ; +0x0100
+(p4) add r16 = r19, r18    ; +0x0108
+(p0) and r6 = r1, r4    ; +0x0110
+(p0) cmp.eq p5 = r6, r0    ; +0x0118
+(p5) out r2    ; +0x0120
+(p0) nop    ; +0x0128
+(p0) and r6 = r16, r4    ; +0x0130
+(p0) cmp.eq p6 = r6, r0    ; +0x0138
+(p6) or r16 = r12, r17    ; +0x0140
+(p6) and r19 = r19, r18    ; +0x0148
+(p6) add r10 = r13, r15    ; +0x0150
+(p0) movi r20 = 41    ; +0x0158
+(p0) add r21 = r20, r4    ; +0x0160
+(p0) mul r22 = r21, r21    ; +0x0168
+(p0) st8 [r3 + 40] = r10    ; +0x0170
+(p0) addi r6 = r10, -1913    ; +0x0178
+(p0) cmp.lt p7 = r6, r0    ; +0x0180
+(p7) br +32    ; +0x0188
+(p0) add r19 = r14, r4    ; +0x0190
+(p0) add r14 = r11, r4    ; +0x0198
+(p0) add r13 = r15, r4    ; +0x01a0
+(p0) st8 [r3 + 1104] = r15    ; +0x01a8
+(p0) nop    ; +0x01b0
+(p0) add r2 = r2, r11    ; +0x01b8
+(p0) addi r1 = r1, -1    ; +0x01c0
+(p0) cmp.lt p1 = r0, r1    ; +0x01c8
+(p1) br -320    ; +0x01d0
+(p0) out r2    ; +0x01d8
+(p0) halt    ; +0x01e0

@@ -1,0 +1,79 @@
+; fuzz corpus entry 2: campaign seed 1, program seed 0x1d0b14e4db018fed
+; regenerate with: ser-repro fuzz --seed 1 --emit-corpus <dir> --corpus-count 12
+(p0) movi r1 = 18    ; +0x0000
+(p0) movi r2 = 0    ; +0x0008
+(p0) movi r3 = 131072    ; +0x0010
+(p0) movi r4 = 1    ; +0x0018
+(p0) movi r10 = 1856    ; +0x0020
+(p0) movi r11 = 1983    ; +0x0028
+(p0) movi r12 = 324    ; +0x0030
+(p0) movi r13 = 893    ; +0x0038
+(p0) movi r14 = 1176    ; +0x0040
+(p0) movi r15 = 487    ; +0x0048
+(p0) movi r16 = 62    ; +0x0050
+(p0) movi r17 = 1619    ; +0x0058
+(p0) movi r18 = 663    ; +0x0060
+(p0) movi r19 = 181    ; +0x0068
+(p0) st8 [r3 + 0] = r12    ; +0x0070
+(p0) st8 [r3 + 8] = r14    ; +0x0078
+(p0) st8 [r3 + 16] = r10    ; +0x0080
+(p0) st8 [r3 + 24] = r13    ; +0x0088
+(p0) and r6 = r1, r4    ; +0x0090
+(p0) cmp.eq p2 = r6, r0    ; +0x0098
+(p2) out r2    ; +0x00a0
+(p0) ld8 r16 = [r3 + 40]    ; +0x00a8
+(p0) or r19 = r19, r19    ; +0x00b0
+(p0) sub r19 = r19, r13    ; +0x00b8
+(p0) shr r15 = r10, r16    ; +0x00c0
+(p0) and r6 = r14, r4    ; +0x00c8
+(p0) cmp.eq p3 = r6, r0    ; +0x00d0
+(p3) and r13 = r12, r14    ; +0x00d8
+(p3) or r17 = r11, r19    ; +0x00e0
+(p0) addi r6 = r12, -1818    ; +0x00e8
+(p0) cmp.lt p4 = r6, r0    ; +0x00f0
+(p4) br +24    ; +0x00f8
+(p0) add r15 = r14, r4    ; +0x0100
+(p0) add r16 = r13, r4    ; +0x0108
+(p0) addi r6 = r14, -1027    ; +0x0110
+(p0) cmp.lt p5 = r6, r0    ; +0x0118
+(p5) br +24    ; +0x0120
+(p0) add r18 = r14, r4    ; +0x0128
+(p0) add r13 = r11, r4    ; +0x0130
+(p0) st8 [r3 + 1080] = r13    ; +0x0138
+(p0) and r6 = r1, r4    ; +0x0140
+(p0) cmp.eq p6 = r6, r0    ; +0x0148
+(p6) out r2    ; +0x0150
+(p0) addi r12 = r12, -91    ; +0x0158
+(p0) and r6 = r1, r4    ; +0x0160
+(p0) cmp.eq p7 = r6, r0    ; +0x0168
+(p7) out r2    ; +0x0170
+(p0) st8 [r3 + 1072] = r15    ; +0x0178
+(p0) and r6 = r12, r4    ; +0x0180
+(p0) cmp.eq p2 = r6, r0    ; +0x0188
+(p2) and r14 = r18, r19    ; +0x0190
+(p2) sub r15 = r17, r11    ; +0x0198
+(p0) st8 [r3 + 24] = r17    ; +0x01a0
+(p0) ld8 r15 = [r3 + 32]    ; +0x01a8
+(p0) and r6 = r11, r4    ; +0x01b0
+(p0) cmp.eq p3 = r6, r0    ; +0x01b8
+(p3) add r11 = r15, r13    ; +0x01c0
+(p3) xor r19 = r10, r16    ; +0x01c8
+(p3) and r14 = r12, r11    ; +0x01d0
+(p0) add r2 = r2, r15    ; +0x01d8
+(p0) addi r1 = r1, -1    ; +0x01e0
+(p0) cmp.lt p1 = r0, r1    ; +0x01e8
+(p1) br -352    ; +0x01f0
+(p0) out r2    ; +0x01f8
+(p0) halt    ; +0x0200
+(p0) movi r40 = 3    ; +0x0208
+(p0) movi r41 = 4    ; +0x0210
+(p0) movi r42 = 5    ; +0x0218
+(p0) movi r43 = 6    ; +0x0220
+(p0) add r2 = r2, r4    ; +0x0228
+(p0) ret r31    ; +0x0230
+(p0) movi r40 = 4    ; +0x0238
+(p0) movi r41 = 5    ; +0x0240
+(p0) movi r42 = 6    ; +0x0248
+(p0) movi r43 = 7    ; +0x0250
+(p0) add r2 = r2, r4    ; +0x0258
+(p0) ret r31    ; +0x0260

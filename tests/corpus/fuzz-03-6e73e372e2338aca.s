@@ -1,0 +1,38 @@
+; fuzz corpus entry 3: campaign seed 1, program seed 0x6e73e372e2338aca
+; regenerate with: ser-repro fuzz --seed 1 --emit-corpus <dir> --corpus-count 12
+(p0) movi r1 = 21    ; +0x0000
+(p0) movi r2 = 0    ; +0x0008
+(p0) movi r3 = 131072    ; +0x0010
+(p0) movi r4 = 1    ; +0x0018
+(p0) movi r10 = 502    ; +0x0020
+(p0) movi r11 = 1441    ; +0x0028
+(p0) movi r12 = 134    ; +0x0030
+(p0) movi r13 = 450    ; +0x0038
+(p0) movi r14 = 1216    ; +0x0040
+(p0) movi r15 = 1001    ; +0x0048
+(p0) movi r16 = 1264    ; +0x0050
+(p0) movi r17 = 658    ; +0x0058
+(p0) movi r18 = 801    ; +0x0060
+(p0) movi r19 = 1631    ; +0x0068
+(p0) st8 [r3 + 0] = r15    ; +0x0070
+(p0) st8 [r3 + 8] = r15    ; +0x0078
+(p0) st8 [r3 + 16] = r12    ; +0x0080
+(p0) st8 [r3 + 24] = r15    ; +0x0088
+(p0) movi r20 = 40    ; +0x0090
+(p0) add r21 = r20, r4    ; +0x0098
+(p0) mul r22 = r21, r21    ; +0x00a0
+(p0) st8 [r3 + 16] = r18    ; +0x00a8
+(p0) ld8 r14 = [r3 + 0]    ; +0x00b0
+(p0) ld8 r17 = [r3 + 40]    ; +0x00b8
+(p0) sub r17 = r13, r10    ; +0x00c0
+(p0) lfetch [r3 + 320]    ; +0x00c8
+(p0) nop    ; +0x00d0
+(p0) and r6 = r14, r4    ; +0x00d8
+(p0) cmp.eq p2 = r6, r0    ; +0x00e0
+(p2) sub r19 = r14, r13    ; +0x00e8
+(p0) add r2 = r2, r14    ; +0x00f0
+(p0) addi r1 = r1, -1    ; +0x00f8
+(p0) cmp.lt p1 = r0, r1    ; +0x0100
+(p1) br -120    ; +0x0108
+(p0) out r2    ; +0x0110
+(p0) halt    ; +0x0118

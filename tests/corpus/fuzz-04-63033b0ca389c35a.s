@@ -1,0 +1,67 @@
+; fuzz corpus entry 4: campaign seed 1, program seed 0x63033b0ca389c35a
+; regenerate with: ser-repro fuzz --seed 1 --emit-corpus <dir> --corpus-count 12
+(p0) movi r1 = 7    ; +0x0000
+(p0) movi r2 = 0    ; +0x0008
+(p0) movi r3 = 131072    ; +0x0010
+(p0) movi r4 = 1    ; +0x0018
+(p0) movi r10 = 261    ; +0x0020
+(p0) movi r11 = 686    ; +0x0028
+(p0) movi r12 = 1550    ; +0x0030
+(p0) movi r13 = 1994    ; +0x0038
+(p0) movi r14 = 1495    ; +0x0040
+(p0) movi r15 = 1744    ; +0x0048
+(p0) movi r16 = 1467    ; +0x0050
+(p0) movi r17 = 185    ; +0x0058
+(p0) movi r18 = 1992    ; +0x0060
+(p0) movi r19 = 1455    ; +0x0068
+(p0) st8 [r3 + 0] = r15    ; +0x0070
+(p0) st8 [r3 + 8] = r11    ; +0x0078
+(p0) st8 [r3 + 16] = r13    ; +0x0080
+(p0) st8 [r3 + 24] = r15    ; +0x0088
+(p0) ld8 r12 = [r3 + 24]    ; +0x0090
+(p0) st8 [r3 + 1064] = r19    ; +0x0098
+(p0) st8 [r3 + 1032] = r10    ; +0x00a0
+(p0) st8 [r3 + 48] = r18    ; +0x00a8
+(p0) movi r20 = 35    ; +0x00b0
+(p0) add r21 = r20, r4    ; +0x00b8
+(p0) mul r22 = r21, r21    ; +0x00c0
+(p0) sub r19 = r11, r10    ; +0x00c8
+(p0) ld8 r16 = [r3 + 32]    ; +0x00d0
+(p0) movi r19 = -836    ; +0x00d8
+(p0) nop    ; +0x00e0
+(p0) movi r20 = 61    ; +0x00e8
+(p0) add r21 = r20, r4    ; +0x00f0
+(p0) mul r22 = r21, r21    ; +0x00f8
+(p0) and r6 = r1, r4    ; +0x0100
+(p0) cmp.eq p2 = r6, r0    ; +0x0108
+(p2) call +200, link=r31    ; +0x0110
+(p0) ld8 r19 = [r3 + 48]    ; +0x0118
+(p0) and r6 = r1, r4    ; +0x0120
+(p0) cmp.eq p3 = r6, r0    ; +0x0128
+(p3) call +168, link=r31    ; +0x0130
+(p0) nop    ; +0x0138
+(p0) addi r6 = r13, -1258    ; +0x0140
+(p0) cmp.lt p4 = r6, r0    ; +0x0148
+(p4) br +32    ; +0x0150
+(p0) add r14 = r17, r4    ; +0x0158
+(p0) add r11 = r16, r4    ; +0x0160
+(p0) add r13 = r11, r4    ; +0x0168
+(p0) ld8 r14 = [r3 + 24]    ; +0x0170
+(p0) addi r6 = r14, -666    ; +0x0178
+(p0) cmp.lt p5 = r6, r0    ; +0x0180
+(p5) br +24    ; +0x0188
+(p0) add r14 = r12, r4    ; +0x0190
+(p0) add r12 = r11, r4    ; +0x0198
+(p0) shr r12 = r12, r18    ; +0x01a0
+(p0) add r2 = r2, r18    ; +0x01a8
+(p0) addi r1 = r1, -1    ; +0x01b0
+(p0) cmp.lt p1 = r0, r1    ; +0x01b8
+(p1) br -304    ; +0x01c0
+(p0) out r2    ; +0x01c8
+(p0) halt    ; +0x01d0
+(p0) movi r40 = 3    ; +0x01d8
+(p0) movi r41 = 4    ; +0x01e0
+(p0) movi r42 = 5    ; +0x01e8
+(p0) movi r43 = 6    ; +0x01f0
+(p0) add r2 = r2, r4    ; +0x01f8
+(p0) ret r31    ; +0x0200

@@ -1,0 +1,63 @@
+; fuzz corpus entry 5: campaign seed 1, program seed 0xbd64a5d9adefe000
+; regenerate with: ser-repro fuzz --seed 1 --emit-corpus <dir> --corpus-count 12
+(p0) movi r1 = 7    ; +0x0000
+(p0) movi r2 = 0    ; +0x0008
+(p0) movi r3 = 131072    ; +0x0010
+(p0) movi r4 = 1    ; +0x0018
+(p0) movi r10 = 1682    ; +0x0020
+(p0) movi r11 = 96    ; +0x0028
+(p0) movi r12 = 995    ; +0x0030
+(p0) movi r13 = 159    ; +0x0038
+(p0) movi r14 = 1888    ; +0x0040
+(p0) movi r15 = 1478    ; +0x0048
+(p0) movi r16 = 1970    ; +0x0050
+(p0) movi r17 = 1646    ; +0x0058
+(p0) movi r18 = 104    ; +0x0060
+(p0) movi r19 = 1426    ; +0x0068
+(p0) st8 [r3 + 0] = r13    ; +0x0070
+(p0) st8 [r3 + 8] = r19    ; +0x0078
+(p0) st8 [r3 + 16] = r13    ; +0x0080
+(p0) st8 [r3 + 24] = r13    ; +0x0088
+(p0) and r6 = r16, r4    ; +0x0090
+(p0) cmp.eq p2 = r6, r0    ; +0x0098
+(p2) add r18 = r15, r13    ; +0x00a0
+(p2) add r13 = r18, r12    ; +0x00a8
+(p2) add r14 = r12, r13    ; +0x00b0
+(p0) st8 [r3 + 1072] = r18    ; +0x00b8
+(p0) st8 [r3 + 8] = r16    ; +0x00c0
+(p0) and r6 = r1, r4    ; +0x00c8
+(p0) cmp.eq p3 = r6, r0    ; +0x00d0
+(p3) out r2    ; +0x00d8
+(p0) mul r18 = r18, r13    ; +0x00e0
+(p0) and r6 = r10, r4    ; +0x00e8
+(p0) cmp.eq p4 = r6, r0    ; +0x00f0
+(p4) xor r17 = r11, r13    ; +0x00f8
+(p4) add r10 = r17, r14    ; +0x0100
+(p0) and r6 = r1, r4    ; +0x0108
+(p0) cmp.eq p5 = r6, r0    ; +0x0110
+(p5) call +160, link=r31    ; +0x0118
+(p0) and r6 = r1, r4    ; +0x0120
+(p0) cmp.eq p6 = r6, r0    ; +0x0128
+(p6) out r2    ; +0x0130
+(p0) addi r16 = r15, -92    ; +0x0138
+(p0) st8 [r3 + 1096] = r18    ; +0x0140
+(p0) st8 [r3 + 1096] = r14    ; +0x0148
+(p0) and r6 = r1, r4    ; +0x0150
+(p0) cmp.eq p7 = r6, r0    ; +0x0158
+(p7) call +88, link=r31    ; +0x0160
+(p0) and r6 = r1, r4    ; +0x0168
+(p0) cmp.eq p2 = r6, r0    ; +0x0170
+(p2) call +64, link=r31    ; +0x0178
+(p0) shr r16 = r13, r16    ; +0x0180
+(p0) add r2 = r2, r11    ; +0x0188
+(p0) addi r1 = r1, -1    ; +0x0190
+(p0) cmp.lt p1 = r0, r1    ; +0x0198
+(p1) br -272    ; +0x01a0
+(p0) out r2    ; +0x01a8
+(p0) halt    ; +0x01b0
+(p0) movi r40 = 3    ; +0x01b8
+(p0) movi r41 = 4    ; +0x01c0
+(p0) movi r42 = 5    ; +0x01c8
+(p0) movi r43 = 6    ; +0x01d0
+(p0) add r2 = r2, r4    ; +0x01d8
+(p0) ret r31    ; +0x01e0

@@ -1,0 +1,47 @@
+; fuzz corpus entry 6: campaign seed 1, program seed 0x63cbe1e459320dd7
+; regenerate with: ser-repro fuzz --seed 1 --emit-corpus <dir> --corpus-count 12
+(p0) movi r1 = 8    ; +0x0000
+(p0) movi r2 = 0    ; +0x0008
+(p0) movi r3 = 131072    ; +0x0010
+(p0) movi r4 = 1    ; +0x0018
+(p0) movi r10 = 1997    ; +0x0020
+(p0) movi r11 = 74    ; +0x0028
+(p0) movi r12 = 1636    ; +0x0030
+(p0) movi r13 = 1167    ; +0x0038
+(p0) movi r14 = 63    ; +0x0040
+(p0) movi r15 = 412    ; +0x0048
+(p0) movi r16 = 883    ; +0x0050
+(p0) movi r17 = 383    ; +0x0058
+(p0) movi r18 = 1277    ; +0x0060
+(p0) movi r19 = 1633    ; +0x0068
+(p0) st8 [r3 + 0] = r18    ; +0x0070
+(p0) st8 [r3 + 8] = r19    ; +0x0078
+(p0) st8 [r3 + 16] = r19    ; +0x0080
+(p0) st8 [r3 + 24] = r12    ; +0x0088
+(p0) movi r20 = 76    ; +0x0090
+(p0) add r21 = r20, r4    ; +0x0098
+(p0) mul r22 = r21, r21    ; +0x00a0
+(p0) st8 [r3 + 24] = r12    ; +0x00a8
+(p0) ld8 r19 = [r3 + 32]    ; +0x00b0
+(p0) st8 [r3 + 48] = r14    ; +0x00b8
+(p0) st8 [r3 + 40] = r12    ; +0x00c0
+(p0) st8 [r3 + 1056] = r16    ; +0x00c8
+(p0) st8 [r3 + 1064] = r16    ; +0x00d0
+(p0) hint +0    ; +0x00d8
+(p0) and r6 = r14, r4    ; +0x00e0
+(p0) cmp.eq p2 = r6, r0    ; +0x00e8
+(p2) or r11 = r10, r13    ; +0x00f0
+(p2) or r16 = r13, r16    ; +0x00f8
+(p0) movi r20 = 26    ; +0x0100
+(p0) add r21 = r20, r4    ; +0x0108
+(p0) mul r22 = r21, r21    ; +0x0110
+(p0) and r6 = r15, r4    ; +0x0118
+(p0) cmp.eq p3 = r6, r0    ; +0x0120
+(p3) or r10 = r11, r14    ; +0x0128
+(p0) shr r12 = r18, r12    ; +0x0130
+(p0) add r2 = r2, r13    ; +0x0138
+(p0) addi r1 = r1, -1    ; +0x0140
+(p0) cmp.lt p1 = r0, r1    ; +0x0148
+(p1) br -192    ; +0x0150
+(p0) out r2    ; +0x0158
+(p0) halt    ; +0x0160

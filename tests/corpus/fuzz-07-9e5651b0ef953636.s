@@ -1,0 +1,51 @@
+; fuzz corpus entry 7: campaign seed 1, program seed 0x9e5651b0ef953636
+; regenerate with: ser-repro fuzz --seed 1 --emit-corpus <dir> --corpus-count 12
+(p0) movi r1 = 15    ; +0x0000
+(p0) movi r2 = 0    ; +0x0008
+(p0) movi r3 = 131072    ; +0x0010
+(p0) movi r4 = 1    ; +0x0018
+(p0) movi r10 = 764    ; +0x0020
+(p0) movi r11 = 1756    ; +0x0028
+(p0) movi r12 = 21    ; +0x0030
+(p0) movi r13 = 1383    ; +0x0038
+(p0) movi r14 = 375    ; +0x0040
+(p0) movi r15 = 1526    ; +0x0048
+(p0) movi r16 = 1015    ; +0x0050
+(p0) movi r17 = 1358    ; +0x0058
+(p0) movi r18 = 1192    ; +0x0060
+(p0) movi r19 = 220    ; +0x0068
+(p0) st8 [r3 + 0] = r19    ; +0x0070
+(p0) st8 [r3 + 8] = r16    ; +0x0078
+(p0) st8 [r3 + 16] = r16    ; +0x0080
+(p0) st8 [r3 + 24] = r17    ; +0x0088
+(p0) and r6 = r1, r4    ; +0x0090
+(p0) cmp.eq p2 = r6, r0    ; +0x0098
+(p2) call +184, link=r31    ; +0x00a0
+(p0) addi r17 = r10, 31    ; +0x00a8
+(p0) movi r20 = 96    ; +0x00b0
+(p0) add r21 = r20, r4    ; +0x00b8
+(p0) mul r22 = r21, r21    ; +0x00c0
+(p0) ld8 r11 = [r3 + 48]    ; +0x00c8
+(p0) movi r18 = -573    ; +0x00d0
+(p0) and r6 = r13, r4    ; +0x00d8
+(p0) cmp.eq p3 = r6, r0    ; +0x00e0
+(p3) or r15 = r17, r17    ; +0x00e8
+(p3) sub r12 = r13, r12    ; +0x00f0
+(p3) and r13 = r11, r12    ; +0x00f8
+(p0) and r6 = r19, r4    ; +0x0100
+(p0) cmp.eq p4 = r6, r0    ; +0x0108
+(p4) xor r16 = r15, r10    ; +0x0110
+(p0) hint +0    ; +0x0118
+(p0) addi r10 = r10, -51    ; +0x0120
+(p0) add r2 = r2, r15    ; +0x0128
+(p0) addi r1 = r1, -1    ; +0x0130
+(p0) cmp.lt p1 = r0, r1    ; +0x0138
+(p1) br -176    ; +0x0140
+(p0) out r2    ; +0x0148
+(p0) halt    ; +0x0150
+(p0) movi r40 = 3    ; +0x0158
+(p0) movi r41 = 4    ; +0x0160
+(p0) movi r42 = 5    ; +0x0168
+(p0) movi r43 = 6    ; +0x0170
+(p0) add r2 = r2, r4    ; +0x0178
+(p0) ret r31    ; +0x0180

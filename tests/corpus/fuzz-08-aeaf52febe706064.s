@@ -1,0 +1,59 @@
+; fuzz corpus entry 8: campaign seed 1, program seed 0xaeaf52febe706064
+; regenerate with: ser-repro fuzz --seed 1 --emit-corpus <dir> --corpus-count 12
+(p0) movi r1 = 17    ; +0x0000
+(p0) movi r2 = 0    ; +0x0008
+(p0) movi r3 = 131072    ; +0x0010
+(p0) movi r4 = 1    ; +0x0018
+(p0) movi r10 = 143    ; +0x0020
+(p0) movi r11 = 315    ; +0x0028
+(p0) movi r12 = 1441    ; +0x0030
+(p0) movi r13 = 1587    ; +0x0038
+(p0) movi r14 = 1283    ; +0x0040
+(p0) movi r15 = 1179    ; +0x0048
+(p0) movi r16 = 45    ; +0x0050
+(p0) movi r17 = 1181    ; +0x0058
+(p0) movi r18 = 843    ; +0x0060
+(p0) movi r19 = 1480    ; +0x0068
+(p0) st8 [r3 + 0] = r14    ; +0x0070
+(p0) st8 [r3 + 8] = r11    ; +0x0078
+(p0) st8 [r3 + 16] = r13    ; +0x0080
+(p0) st8 [r3 + 24] = r11    ; +0x0088
+(p0) st8 [r3 + 1088] = r17    ; +0x0090
+(p0) addi r6 = r11, -1386    ; +0x0098
+(p0) cmp.lt p2 = r6, r0    ; +0x00a0
+(p2) br +16    ; +0x00a8
+(p0) add r16 = r14, r4    ; +0x00b0
+(p0) and r15 = r14, r10    ; +0x00b8
+(p0) addi r17 = r15, -83    ; +0x00c0
+(p0) st8 [r3 + 32] = r13    ; +0x00c8
+(p0) nop    ; +0x00d0
+(p0) st8 [r3 + 24] = r17    ; +0x00d8
+(p0) ld8 r12 = [r3 + 48]    ; +0x00e0
+(p0) and r6 = r10, r4    ; +0x00e8
+(p0) cmp.eq p3 = r6, r0    ; +0x00f0
+(p3) and r12 = r14, r13    ; +0x00f8
+(p0) st8 [r3 + 16] = r15    ; +0x0100
+(p0) ld8 r16 = [r3 + 48]    ; +0x0108
+(p0) st8 [r3 + 1048] = r11    ; +0x0110
+(p0) and r6 = r14, r4    ; +0x0118
+(p0) cmp.eq p4 = r6, r0    ; +0x0120
+(p4) add r11 = r15, r11    ; +0x0128
+(p4) mul r17 = r18, r19    ; +0x0130
+(p0) ld8 r13 = [r3 + 0]    ; +0x0138
+(p0) st8 [r3 + 1080] = r12    ; +0x0140
+(p0) lfetch [r3 + 0]    ; +0x0148
+(p0) nop    ; +0x0150
+(p0) and r6 = r15, r4    ; +0x0158
+(p0) cmp.eq p5 = r6, r0    ; +0x0160
+(p5) xor r13 = r16, r13    ; +0x0168
+(p5) xor r13 = r19, r11    ; +0x0170
+(p0) and r6 = r13, r4    ; +0x0178
+(p0) cmp.eq p6 = r6, r0    ; +0x0180
+(p6) and r19 = r19, r15    ; +0x0188
+(p6) and r11 = r16, r16    ; +0x0190
+(p0) add r2 = r2, r10    ; +0x0198
+(p0) addi r1 = r1, -1    ; +0x01a0
+(p0) cmp.lt p1 = r0, r1    ; +0x01a8
+(p1) br -288    ; +0x01b0
+(p0) out r2    ; +0x01b8
+(p0) halt    ; +0x01c0

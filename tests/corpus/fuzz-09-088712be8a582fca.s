@@ -1,0 +1,42 @@
+; fuzz corpus entry 9: campaign seed 1, program seed 0x88712be8a582fca
+; regenerate with: ser-repro fuzz --seed 1 --emit-corpus <dir> --corpus-count 12
+(p0) movi r1 = 17    ; +0x0000
+(p0) movi r2 = 0    ; +0x0008
+(p0) movi r3 = 131072    ; +0x0010
+(p0) movi r4 = 1    ; +0x0018
+(p0) movi r10 = 159    ; +0x0020
+(p0) movi r11 = 952    ; +0x0028
+(p0) movi r12 = 441    ; +0x0030
+(p0) movi r13 = 9    ; +0x0038
+(p0) movi r14 = 1054    ; +0x0040
+(p0) movi r15 = 721    ; +0x0048
+(p0) movi r16 = 1161    ; +0x0050
+(p0) movi r17 = 870    ; +0x0058
+(p0) movi r18 = 1864    ; +0x0060
+(p0) movi r19 = 402    ; +0x0068
+(p0) st8 [r3 + 0] = r14    ; +0x0070
+(p0) st8 [r3 + 8] = r12    ; +0x0078
+(p0) st8 [r3 + 16] = r11    ; +0x0080
+(p0) st8 [r3 + 24] = r18    ; +0x0088
+(p0) add r10 = r14, r19    ; +0x0090
+(p0) and r6 = r15, r4    ; +0x0098
+(p0) cmp.eq p2 = r6, r0    ; +0x00a0
+(p2) add r15 = r13, r14    ; +0x00a8
+(p2) xor r14 = r15, r12    ; +0x00b0
+(p0) movi r14 = 1217    ; +0x00b8
+(p0) addi r6 = r10, -1472    ; +0x00c0
+(p0) cmp.lt p3 = r6, r0    ; +0x00c8
+(p3) br +24    ; +0x00d0
+(p0) add r12 = r17, r4    ; +0x00d8
+(p0) add r17 = r14, r4    ; +0x00e0
+(p0) nop    ; +0x00e8
+(p0) and r6 = r1, r4    ; +0x00f0
+(p0) cmp.eq p4 = r6, r0    ; +0x00f8
+(p4) out r2    ; +0x0100
+(p0) ld8 r14 = [r3 + 0]    ; +0x0108
+(p0) add r2 = r2, r14    ; +0x0110
+(p0) addi r1 = r1, -1    ; +0x0118
+(p0) cmp.lt p1 = r0, r1    ; +0x0120
+(p1) br -152    ; +0x0128
+(p0) out r2    ; +0x0130
+(p0) halt    ; +0x0138

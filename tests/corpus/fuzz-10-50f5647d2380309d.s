@@ -1,0 +1,43 @@
+; fuzz corpus entry 10: campaign seed 1, program seed 0x50f5647d2380309d
+; regenerate with: ser-repro fuzz --seed 1 --emit-corpus <dir> --corpus-count 12
+(p0) movi r1 = 19    ; +0x0000
+(p0) movi r2 = 0    ; +0x0008
+(p0) movi r3 = 131072    ; +0x0010
+(p0) movi r4 = 1    ; +0x0018
+(p0) movi r10 = 371    ; +0x0020
+(p0) movi r11 = 1989    ; +0x0028
+(p0) movi r12 = 563    ; +0x0030
+(p0) movi r13 = 1884    ; +0x0038
+(p0) movi r14 = 195    ; +0x0040
+(p0) movi r15 = 75    ; +0x0048
+(p0) movi r16 = 1625    ; +0x0050
+(p0) movi r17 = 569    ; +0x0058
+(p0) movi r18 = 1177    ; +0x0060
+(p0) movi r19 = 797    ; +0x0068
+(p0) st8 [r3 + 0] = r18    ; +0x0070
+(p0) st8 [r3 + 8] = r10    ; +0x0078
+(p0) st8 [r3 + 16] = r11    ; +0x0080
+(p0) st8 [r3 + 24] = r14    ; +0x0088
+(p0) movi r17 = 1486    ; +0x0090
+(p0) ld8 r17 = [r3 + 8]    ; +0x0098
+(p0) addi r6 = r16, -1843    ; +0x00a0
+(p0) cmp.lt p2 = r6, r0    ; +0x00a8
+(p2) br +16    ; +0x00b0
+(p0) add r10 = r13, r4    ; +0x00b8
+(p0) st8 [r3 + 1120] = r18    ; +0x00c0
+(p0) movi r16 = -1210    ; +0x00c8
+(p0) addi r10 = r16, -10    ; +0x00d0
+(p0) addi r14 = r17, -26    ; +0x00d8
+(p0) and r14 = r17, r18    ; +0x00e0
+(p0) add r2 = r2, r17    ; +0x00e8
+(p0) addi r1 = r1, -1    ; +0x00f0
+(p0) cmp.lt p1 = r0, r1    ; +0x00f8
+(p1) br -112    ; +0x0100
+(p0) out r2    ; +0x0108
+(p0) halt    ; +0x0110
+(p0) movi r40 = 3    ; +0x0118
+(p0) movi r41 = 4    ; +0x0120
+(p0) movi r42 = 5    ; +0x0128
+(p0) movi r43 = 6    ; +0x0130
+(p0) add r2 = r2, r4    ; +0x0138
+(p0) ret r31    ; +0x0140

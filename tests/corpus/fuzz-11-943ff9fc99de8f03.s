@@ -1,0 +1,60 @@
+; fuzz corpus entry 11: campaign seed 1, program seed 0x943ff9fc99de8f03
+; regenerate with: ser-repro fuzz --seed 1 --emit-corpus <dir> --corpus-count 12
+(p0) movi r1 = 17    ; +0x0000
+(p0) movi r2 = 0    ; +0x0008
+(p0) movi r3 = 131072    ; +0x0010
+(p0) movi r4 = 1    ; +0x0018
+(p0) movi r10 = 167    ; +0x0020
+(p0) movi r11 = 9    ; +0x0028
+(p0) movi r12 = 634    ; +0x0030
+(p0) movi r13 = 1876    ; +0x0038
+(p0) movi r14 = 1371    ; +0x0040
+(p0) movi r15 = 88    ; +0x0048
+(p0) movi r16 = 1406    ; +0x0050
+(p0) movi r17 = 559    ; +0x0058
+(p0) movi r18 = 309    ; +0x0060
+(p0) movi r19 = 1546    ; +0x0068
+(p0) st8 [r3 + 0] = r13    ; +0x0070
+(p0) st8 [r3 + 8] = r18    ; +0x0078
+(p0) st8 [r3 + 16] = r11    ; +0x0080
+(p0) st8 [r3 + 24] = r17    ; +0x0088
+(p0) and r6 = r16, r4    ; +0x0090
+(p0) cmp.eq p2 = r6, r0    ; +0x0098
+(p2) sub r18 = r17, r12    ; +0x00a0
+(p2) add r14 = r15, r16    ; +0x00a8
+(p2) xor r14 = r14, r17    ; +0x00b0
+(p0) addi r18 = r19, -84    ; +0x00b8
+(p0) and r6 = r17, r4    ; +0x00c0
+(p0) cmp.eq p3 = r6, r0    ; +0x00c8
+(p3) sub r15 = r11, r18    ; +0x00d0
+(p3) and r11 = r14, r11    ; +0x00d8
+(p0) and r6 = r14, r4    ; +0x00e0
+(p0) cmp.eq p4 = r6, r0    ; +0x00e8
+(p4) mul r16 = r14, r10    ; +0x00f0
+(p4) add r12 = r16, r17    ; +0x00f8
+(p0) hint +0    ; +0x0100
+(p0) add r19 = r17, r18    ; +0x0108
+(p0) st8 [r3 + 8] = r11    ; +0x0110
+(p0) ld8 r19 = [r3 + 16]    ; +0x0118
+(p0) ld8 r17 = [r3 + 8]    ; +0x0120
+(p0) movi r20 = 29    ; +0x0128
+(p0) add r21 = r20, r4    ; +0x0130
+(p0) mul r22 = r21, r21    ; +0x0138
+(p0) addi r15 = r11, -68    ; +0x0140
+(p0) and r18 = r14, r17    ; +0x0148
+(p0) st8 [r3 + 1088] = r15    ; +0x0150
+(p0) and r6 = r1, r4    ; +0x0158
+(p0) cmp.eq p5 = r6, r0    ; +0x0160
+(p5) call +56, link=r31    ; +0x0168
+(p0) add r2 = r2, r15    ; +0x0170
+(p0) addi r1 = r1, -1    ; +0x0178
+(p0) cmp.lt p1 = r0, r1    ; +0x0180
+(p1) br -248    ; +0x0188
+(p0) out r2    ; +0x0190
+(p0) halt    ; +0x0198
+(p0) movi r40 = 3    ; +0x01a0
+(p0) movi r41 = 4    ; +0x01a8
+(p0) movi r42 = 5    ; +0x01b0
+(p0) movi r43 = 6    ; +0x01b8
+(p0) add r2 = r2, r4    ; +0x01c0
+(p0) ret r31    ; +0x01c8

@@ -3,94 +3,141 @@
 //! fault injection (Kim & Somani / Wang et al., the alternative the paper
 //! cites). The two must agree — this is the strongest correctness check
 //! the reproduction has.
+//!
+//! Agreement is required across a spread of workload shapes (integer-heavy,
+//! branchy/predicated, and memory-bound specs) and under both detection
+//! models, with every tolerance derived from the shared
+//! [`binomial_ci95`] helper rather than ad-hoc constants.
 
 use ses_core::{
-    run_workload, Campaign, CampaignConfig, DetectionModel, Outcome, PipelineConfig,
-    WorkloadSpec,
+    binomial_ci95, run_workload, Campaign, CampaignConfig, DetectionModel, Outcome,
+    PipelineConfig, WorkloadSpec,
 };
 
-const INJECTIONS: u32 = 400;
+const INJECTIONS: u32 = 300;
 
-fn spec() -> WorkloadSpec {
-    let mut s = WorkloadSpec::quick("xval", 0xABCD);
-    s.target_dynamic = 30_000;
-    s
+/// Absolute slack added on top of the binomial confidence interval. It
+/// absorbs the modelled differences between the two methodologies (the
+/// analytic side is exact over bit-cycles, the statistical side samples
+/// whole-fault outcomes); see EXPERIMENTS.md "Deviations".
+const CI_SLACK: f64 = 0.05;
+
+/// Three deliberately different workload shapes: the original
+/// integer-style spec, a branch/predication-heavy one, and a
+/// memory-bound streamer.
+fn specs() -> Vec<WorkloadSpec> {
+    let mut base = WorkloadSpec::quick("xval", 0xABCD);
+    base.target_dynamic = 30_000;
+
+    let mut branchy = WorkloadSpec::quick("xval-branchy", 0xBEEF);
+    branchy.mix.branchy = 4;
+    branchy.mix.predicated = 3;
+    branchy.mix.call = 2;
+
+    let mut memory = WorkloadSpec::quick("xval-mem", 0x5EED);
+    memory.mix.load_far = 3;
+    memory.mix.load_deep = 2;
+    memory.mix.store_live = 2;
+    memory.working_set_bytes = 1 << 20;
+    memory.stride_bytes = 256;
+
+    vec![base, branchy, memory]
 }
 
-#[test]
-fn statistical_due_matches_analytic_due() {
-    let spec = spec();
-    let analytic = run_workload(&spec, &PipelineConfig::default())
-        .expect("analytic run")
-        .avf
-        .due_avf()
-        .fraction();
-
-    let campaign = Campaign::prepare(
-        &spec,
+fn campaign(spec: &WorkloadSpec, seed: u64, detection: DetectionModel) -> Campaign {
+    Campaign::prepare(
+        spec,
         CampaignConfig {
             injections: INJECTIONS,
-            seed: 11,
-            detection: DetectionModel::Parity { tracking: None },
+            seed,
+            detection,
             ..CampaignConfig::default()
         },
     )
-    .expect("campaign");
-    let report = campaign.run();
-    let statistical = report.due_avf_estimate();
-    let ci = report.ci95(statistical);
-
-    // The DUE AVF is exactly "probability a uniformly random bit-cycle is
-    // read later": the detector fires iff the struck entry is read. The
-    // statistical estimate must therefore bracket the analytic value.
-    assert!(
-        (statistical - analytic).abs() < ci + 0.05,
-        "statistical {statistical:.3} vs analytic {analytic:.3} (ci {ci:.3})"
-    );
+    .expect("campaign")
 }
 
 #[test]
-fn statistical_sdc_bounded_by_analytic_sdc() {
-    let spec = spec();
-    let analytic = run_workload(&spec, &PipelineConfig::default())
-        .expect("analytic run")
-        .avf
-        .sdc_avf()
-        .fraction();
+fn statistical_due_matches_analytic_due_across_specs() {
+    for spec in specs() {
+        let analytic = run_workload(&spec, &PipelineConfig::default())
+            .expect("analytic run")
+            .avf
+            .due_avf()
+            .fraction();
 
-    let campaign = Campaign::prepare(
-        &spec,
-        CampaignConfig {
-            injections: INJECTIONS,
-            seed: 13,
-            detection: DetectionModel::None,
-            ..CampaignConfig::default()
-        },
-    )
-    .expect("campaign");
-    let report = campaign.run();
-    let statistical = report.sdc_avf_estimate();
-    let ci = report.ci95(statistical);
+        let report = campaign(&spec, 11, DetectionModel::Parity { tracking: None }).run();
+        let statistical = report.due_avf_estimate();
+        let ci = binomial_ci95(statistical, u64::from(INJECTIONS));
 
-    // ACE analysis is deliberately conservative (every bit of a live
-    // instruction is assumed to matter), so the measured SDC rate must be
-    // at or below the analytic SDC AVF -- and clearly above zero.
-    assert!(
-        statistical <= analytic + ci,
-        "measured SDC {statistical:.3} cannot exceed conservative ACE bound {analytic:.3}"
-    );
-    assert!(
-        statistical > 0.02,
-        "strikes on live state must corrupt output sometimes, got {statistical:.3}"
-    );
+        // The DUE AVF is exactly "probability a uniformly random bit-cycle
+        // is read later": the detector fires iff the struck entry is read.
+        // The statistical estimate must therefore bracket the analytic
+        // value on every workload shape.
+        assert!(
+            (statistical - analytic).abs() < ci + CI_SLACK,
+            "{}: statistical {statistical:.3} vs analytic {analytic:.3} (ci {ci:.3})",
+            spec.name
+        );
+    }
+}
+
+#[test]
+fn statistical_sdc_bounded_by_analytic_sdc_across_specs() {
+    for spec in specs() {
+        let analytic = run_workload(&spec, &PipelineConfig::default())
+            .expect("analytic run")
+            .avf
+            .sdc_avf()
+            .fraction();
+
+        let report = campaign(&spec, 13, DetectionModel::None).run();
+        let statistical = report.sdc_avf_estimate();
+        let ci = binomial_ci95(statistical, u64::from(INJECTIONS));
+
+        // ACE analysis is deliberately conservative (every bit of a live
+        // instruction is assumed to matter), so the measured SDC rate must
+        // be at or below the analytic SDC AVF -- and clearly above zero.
+        assert!(
+            statistical <= analytic + ci,
+            "{}: measured SDC {statistical:.3} cannot exceed conservative ACE bound {analytic:.3}",
+            spec.name
+        );
+        assert!(
+            statistical > 0.02,
+            "{}: strikes on live state must corrupt output sometimes, got {statistical:.3}",
+            spec.name
+        );
+    }
+}
+
+#[test]
+fn detection_models_order_consistently() {
+    // Parity converts would-be SDCs into DUEs, so the DUE estimate under
+    // parity must dominate the SDC estimate with no detection, beyond
+    // joint sampling noise. (One spec: per-spec model coverage is already
+    // exercised by the two tests above.)
+    for spec in specs().into_iter().take(1) {
+        let none = campaign(&spec, 17, DetectionModel::None).run();
+        let parity = campaign(&spec, 17, DetectionModel::Parity { tracking: None }).run();
+        let sdc = none.sdc_avf_estimate();
+        let due = parity.due_avf_estimate();
+        let noise =
+            binomial_ci95(sdc, u64::from(INJECTIONS)) + binomial_ci95(due, u64::from(INJECTIONS));
+        assert!(
+            due + noise >= sdc,
+            "{}: parity DUE {due:.3} must cover undetected SDC {sdc:.3}",
+            spec.name
+        );
+    }
 }
 
 #[test]
 fn empirical_bit_kind_rates_track_analytic_ordering() {
     // Strikes on opcode / destination-specifier bits must fail more often
     // than strikes on immediates — both analytically and empirically.
-    let spec = spec();
-    let run = run_workload(&spec, &PipelineConfig::default()).expect("run");
+    let spec = &specs()[0];
+    let run = run_workload(spec, &PipelineConfig::default()).expect("run");
     let analytic = run.avf.avf_by_bit_kind();
     let get_analytic = |k: ses_isa::BitKind| {
         analytic
@@ -103,7 +150,7 @@ fn empirical_bit_kind_rates_track_analytic_ordering() {
     assert!(get_analytic(ses_isa::BitKind::Opcode) > get_analytic(ses_isa::BitKind::Immediate));
 
     let campaign = Campaign::prepare(
-        &spec,
+        spec,
         CampaignConfig {
             injections: 600,
             seed: 29,
@@ -133,26 +180,19 @@ fn empirical_bit_kind_rates_track_analytic_ordering() {
 
 #[test]
 fn parity_converts_all_sdc_to_due() {
-    let spec = spec();
-    let campaign = Campaign::prepare(
-        &spec,
-        CampaignConfig {
-            injections: 200,
-            seed: 17,
-            detection: DetectionModel::Parity { tracking: None },
-            ..CampaignConfig::default()
-        },
-    )
-    .expect("campaign");
-    let report = campaign.run();
-    assert_eq!(report.count(Outcome::Sdc), 0);
-    assert_eq!(report.count(Outcome::Hang), 0);
-    assert!(report.count(Outcome::FalseDue) > 0);
-    // Everything is either benign or a DUE of some flavour.
-    assert_eq!(
-        report.count(Outcome::Benign)
-            + report.count(Outcome::FalseDue)
-            + report.count(Outcome::TrueDue),
-        report.total()
-    );
+    for spec in specs() {
+        let report = campaign(&spec, 17, DetectionModel::Parity { tracking: None }).run();
+        assert_eq!(report.count(Outcome::Sdc), 0, "{}", spec.name);
+        assert_eq!(report.count(Outcome::Hang), 0, "{}", spec.name);
+        assert!(report.count(Outcome::FalseDue) > 0, "{}", spec.name);
+        // Everything is either benign or a DUE of some flavour.
+        assert_eq!(
+            report.count(Outcome::Benign)
+                + report.count(Outcome::FalseDue)
+                + report.count(Outcome::TrueDue),
+            report.total(),
+            "{}",
+            spec.name
+        );
+    }
 }
