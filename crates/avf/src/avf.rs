@@ -8,6 +8,40 @@ use ses_types::Avf;
 use crate::ace::{classify, FalseDueCause, ResidencyBits};
 use crate::dead::DeadMap;
 
+/// The queue-occupancy lifetime intervals of a timing run, as half-open
+/// `(alloc, dealloc)` cycle ranges — the raw lifetime data the adaptive
+/// stratified sampler buckets cycle windows by. Extracted here so the
+/// stratifier and the analytic AVF engine read the residency log the
+/// same way.
+pub fn occupancy_intervals(result: &PipelineResult) -> Vec<(u64, u64)> {
+    result
+        .residencies
+        .iter()
+        .map(|r| (r.alloc.as_u64(), r.dealloc.as_u64()))
+        .collect()
+}
+
+/// The per-slot lifetime spans of a timing run, as
+/// `(slot, alloc, last_read, dealloc)` tuples (`last_read` is `None` for
+/// residencies that were never issued). The adaptive stratified sampler
+/// uses these to split each occupancy into its pre-read (live) and
+/// post-read (Ex-ACE tail) phase — the same lifetime boundary the
+/// analytic ACE classification draws.
+pub fn lifetime_spans(result: &PipelineResult) -> Vec<(usize, u64, Option<u64>, u64)> {
+    result
+        .residencies
+        .iter()
+        .map(|r| {
+            (
+                r.slot,
+                r.alloc.as_u64(),
+                r.last_read.map(|c| c.as_u64()),
+                r.dealloc.as_u64(),
+            )
+        })
+        .collect()
+}
+
 /// Occupancy-state fractions of the instruction queue (the paper §4.1
 /// reports ≈30 % idle, 8 % Ex-ACE, 33 % valid un-ACE, 29 % ACE).
 #[derive(Debug, Clone, Copy, PartialEq)]

@@ -42,7 +42,8 @@ mod regfile;
 
 pub use ace::{classify, FalseDueCause, ResidencyBits};
 pub use avf::{
-    AvfAnalysis, BitCycleDecomposition, KindAvf, StateFractions, Technique, TimelinePoint,
+    lifetime_spans, occupancy_intervals, AvfAnalysis, BitCycleDecomposition, KindAvf,
+    StateFractions, Technique, TimelinePoint,
 };
 pub use dead::{DeadInfo, DeadKind, DeadMap};
 pub use regfile::RegFileAvf;

@@ -12,11 +12,18 @@
 
 use std::time::Instant;
 
-use ses_core::{Campaign, CampaignConfig, CampaignReport, DetectionModel, WorkloadSpec};
+use ses_core::{
+    AdaptiveCampaignConfig, AdaptiveCampaignReport, AdaptiveConfig, AdaptiveSession, Campaign,
+    CampaignConfig, CampaignReport, DetectionModel, MetricKind, UniformRun, WorkloadSpec,
+};
 use ses_pipeline::{DetectionModel as PipelineDetection, Pipeline, PipelineConfig};
 
 const INJECTIONS: u32 = 1000;
 const CAMPAIGN_REPS: usize = 5;
+/// Aggregate 95 % half-width both samplers are driven to. Tight enough
+/// that the pilot round is a small fraction of the adaptive budget and
+/// both samplers are in their asymptotic (1/h²) regime.
+const CI_TARGET: f64 = 0.01;
 
 /// Best-of-N wall time of `f` (min damps scheduler noise).
 fn best_of<R>(n: usize, mut f: impl FnMut() -> R) -> f64 {
@@ -141,6 +148,38 @@ fn timed_campaigns() -> CampaignTiming {
     }
 }
 
+/// Drives the adaptive stratified sampler to [`CI_TARGET`], then drives
+/// plain uniform sampling to the *same achieved* half-width on the same
+/// campaign, so the trial counts compare at equal confidence.
+fn trials_to_target_ci() -> (AdaptiveCampaignReport, UniformRun, f64, f64) {
+    let spec = WorkloadSpec::quick("campaign-speed", 7);
+    let config = CampaignConfig {
+        seed: 0xBE,
+        detection: DetectionModel::Parity { tracking: None },
+        ..CampaignConfig::default()
+    };
+    let campaign = Campaign::prepare(&spec, config).expect("campaign prepare");
+    let cfg = AdaptiveCampaignConfig {
+        adaptive: AdaptiveConfig {
+            target_halfwidth: CI_TARGET,
+            ..AdaptiveConfig::default()
+        },
+        metric: MetricKind::DueAvf,
+    };
+    let t = Instant::now();
+    let report = AdaptiveSession::new(&campaign, cfg).run();
+    let adaptive_wall = t.elapsed().as_secs_f64();
+    let t = Instant::now();
+    let uniform = campaign.run_uniform_to_target(
+        report.estimate.halfwidth,
+        MetricKind::DueAvf,
+        64,
+        200_000,
+    );
+    let uniform_wall = t.elapsed().as_secs_f64();
+    (report, uniform, adaptive_wall, uniform_wall)
+}
+
 fn main() {
     println!("\n=== Campaign speed: checkpointed vs from-scratch injection ===");
     println!("({INJECTIONS} injections, parity detection, identical fault sequence)\n");
@@ -203,6 +242,27 @@ fn main() {
         telemetry_off, telemetry_on, telemetry_ratio
     );
 
+    println!("\n=== Trials to target CI: adaptive stratified vs uniform ===");
+    let (adaptive, uniform, adaptive_wall, uniform_wall) = trials_to_target_ci();
+    let ci_ratio = uniform.trials as f64 / adaptive.total_trials.max(1) as f64;
+    println!(
+        "adaptive:               {} trials, {} rounds, estimate {:.4} +/- {:.4} ({:.3}s)",
+        adaptive.total_trials,
+        adaptive.rounds,
+        adaptive.estimate.estimate,
+        adaptive.estimate.halfwidth,
+        adaptive_wall
+    );
+    println!(
+        "uniform:                {} trials, estimate {:.4} +/- {:.4} ({:.3}s)",
+        uniform.trials, uniform.proportion, uniform.halfwidth, uniform_wall
+    );
+    println!(
+        "masked (idle) mass:     {:.1}% of the injection space",
+        adaptive.masked_size as f64 / adaptive.space_size as f64 * 100.0
+    );
+    println!("trial savings:          {ci_ratio:.2}x fewer injections at equal half-width");
+
     let json = format!(
         "{{\n  \"injections\": {},\n  \"baseline_cycles\": {},\n  \"checkpoints\": {},\n  \
          \"checkpoint_interval\": {},\n  \"scratch_inject_wall_s\": {:.6},\n  \
@@ -210,7 +270,11 @@ fn main() {
          \"cycles_simulated_scratch\": {},\n  \"cycles_simulated_checkpointed\": {},\n  \
          \"cycles_skip_fraction\": {:.4},\n  \"replay_hit_rate\": {:.4},\n  \
          \"telemetry_off_wall_s\": {:.6},\n  \"telemetry_full_wall_s\": {:.6},\n  \
-         \"telemetry_overhead_ratio\": {:.4}\n}}\n",
+         \"telemetry_overhead_ratio\": {:.4},\n  \"ci_target_halfwidth\": {:.4},\n  \
+         \"adaptive_achieved_halfwidth\": {:.6},\n  \"adaptive_trials\": {},\n  \
+         \"adaptive_rounds\": {},\n  \"adaptive_estimate\": {:.6},\n  \
+         \"adaptive_masked_fraction\": {:.4},\n  \"uniform_trials_to_same_halfwidth\": {},\n  \
+         \"uniform_halfwidth\": {:.6},\n  \"adaptive_trial_savings\": {:.3}\n}}\n",
         INJECTIONS,
         ckpt.baseline_cycles(),
         ckpt.checkpoints(),
@@ -225,6 +289,15 @@ fn main() {
         telemetry_off,
         telemetry_on,
         telemetry_ratio,
+        CI_TARGET,
+        adaptive.estimate.halfwidth,
+        adaptive.total_trials,
+        adaptive.rounds,
+        adaptive.estimate.estimate,
+        adaptive.masked_size as f64 / adaptive.space_size as f64,
+        uniform.trials,
+        uniform.halfwidth,
+        ci_ratio,
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_campaign.json");
     std::fs::write(path, &json).expect("write BENCH_campaign.json");
@@ -242,4 +315,11 @@ fn main() {
         (telemetry_ratio - 1.0) * 100.0
     );
     println!("Telemetry overhead target (<= 5%) holds.");
+
+    assert!(
+        ci_ratio >= 3.0,
+        "adaptive sampling must reach the target CI in at least 3x fewer trials \
+         ({ci_ratio:.2}x measured)"
+    );
+    println!("Adaptive trial-savings target (>= 3x) holds.");
 }

@@ -43,10 +43,16 @@ pub use ses_avf::{
     Technique, TimelinePoint,
 };
 pub use ses_faults::{
-    Campaign, CampaignConfig, CampaignPerf, CampaignReport, DetailedReport, Outcome,
+    build_strata, AdaptiveCampaignConfig, AdaptiveCampaignReport, AdaptiveSession, Campaign,
+    CampaignConfig, CampaignPerf, CampaignReport, DetailedReport, MetricKind, Outcome,
+    StratumReport, UniformRun,
+};
+pub use ses_sampler::{
+    AdaptiveCheckpoint, AdaptiveConfig, AdaptiveScheduler, BitClass, FaultCoord,
+    OccupancyProfile, RoundRecord, Strata, StratifiedEstimate, StratumKey,
 };
 pub use ses_mem::Level;
-pub use ses_metrics::{geomean, mean, RatePoint, ReliabilityModel, Table};
+pub use ses_metrics::{geomean, mean, RateInterval, RatePoint, ReliabilityModel, Table};
 pub use ses_metrics::{JsonValue, TelemetryLevel, SCHEMA_VERSION};
 pub use ses_metrics::binomial_ci95;
 pub use ses_oracle::{

@@ -292,6 +292,111 @@ pub fn campaign_artifact(
     doc
 }
 
+fn rate_point_value(p: &ses_metrics::RatePoint) -> JsonValue {
+    let mut v = JsonValue::object();
+    v.set("fit", p.fit.value())
+        .set("mttf_years", p.mttf.years())
+        .set("mitf_instructions", p.mitf.instructions())
+        .set("ipc_over_avf", p.ipc_over_avf);
+    v
+}
+
+/// The adaptive stratified campaign artifact. Every quantity here is a
+/// pure function of workload, configuration and seed — planning is
+/// single-threaded and evaluation order-preserving — so the artifact is
+/// byte-identical across worker-thread counts and across mid-campaign
+/// stop/resume. No wall-clock fields appear at any level.
+pub fn adaptive_campaign_artifact(
+    workload: &str,
+    cfg: &ses_faults::AdaptiveCampaignConfig,
+    report: &ses_faults::AdaptiveCampaignReport,
+    model: &ses_metrics::ReliabilityModel,
+    level: TelemetryLevel,
+) -> JsonValue {
+    let mut doc = header("adaptive_campaign", level);
+    doc.set("workload", workload)
+        .set("metric", report.metric.label())
+        .set("ipc", report.ipc)
+        .set("space_size", report.space_size)
+        .set("masked_size", report.masked_size)
+        .set("strata_count", report.strata.len());
+    let mut c = JsonValue::object();
+    c.set("target_halfwidth", cfg.adaptive.target_halfwidth)
+        .set("min_per_stratum", cfg.adaptive.min_per_stratum)
+        .set("round_budget", cfg.adaptive.round_budget)
+        .set("max_rounds", cfg.adaptive.max_rounds)
+        .set("exhaust_threshold", cfg.adaptive.exhaust_threshold)
+        .set("seed", cfg.adaptive.seed);
+    doc.set("config", c);
+    doc.set("total_trials", report.total_trials)
+        .set("rounds", report.rounds)
+        .set("uniform_equivalent_trials", report.uniform_equivalent_trials())
+        .set("uniform_savings", report.uniform_savings());
+    let est = &report.estimate;
+    let (plo, phi) = est.interval();
+    let (ulo, uhi) = est.union_bound();
+    let mut e = JsonValue::object();
+    e.set("avf", est.estimate)
+        .set("halfwidth", est.halfwidth)
+        .set("interval_lo", plo)
+        .set("interval_hi", phi)
+        .set("union_lo", ulo)
+        .set("union_hi", uhi);
+    doc.set("estimate", e);
+    let rates = report.rate_interval(model);
+    let mut r = JsonValue::object();
+    r.set("avf_lo", rates.avf_lo)
+        .set("avf", rates.avf)
+        .set("avf_hi", rates.avf_hi);
+    if let Some(p) = &rates.point {
+        r.set("point", rate_point_value(p));
+    }
+    if let Some(p) = &rates.pessimistic {
+        r.set("pessimistic", rate_point_value(p));
+    }
+    if let Some(p) = &rates.optimistic {
+        r.set("optimistic", rate_point_value(p));
+    }
+    doc.set("rates", r);
+    let strata: Vec<JsonValue> = report
+        .strata
+        .iter()
+        .map(|s| {
+            let mut v = JsonValue::object();
+            v.set("stratum", s.label.as_str())
+                .set("size", s.size)
+                .set("weight", s.weight)
+                .set("trials", s.state.trials)
+                .set("events", s.state.events)
+                .set("proportion", s.state.proportion())
+                .set("halfwidth", s.state.halfwidth())
+                .set("exhausted", s.state.exhausted)
+                .set(
+                    "stopped_round",
+                    s.state.stopped_round.map(i64::from).unwrap_or(-1),
+                );
+            v
+        })
+        .collect();
+    doc.set("strata", strata);
+    let trajectory: Vec<JsonValue> = report
+        .trajectory
+        .iter()
+        .map(|t| {
+            let mut v = JsonValue::object();
+            v.set("round", t.round)
+                .set("trials", t.trials)
+                .set("cumulative_trials", t.cumulative_trials)
+                .set("estimate", t.estimate)
+                .set("halfwidth", t.halfwidth)
+                .set("active_strata", t.active_strata);
+            v
+        })
+        .collect();
+    doc.set("ci_trajectory", trajectory);
+    doc
+}
+
 /// Writes a rendered artifact to `path` (atomically enough for tests:
 /// full render first, single write call).
 ///

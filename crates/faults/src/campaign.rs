@@ -157,6 +157,10 @@ pub struct Campaign {
     /// identical).
     golden_words: Vec<u64>,
     baseline_cycles: u64,
+    /// Per-slot `(slot, alloc, last_read, dealloc)` lifetime spans of
+    /// the golden timing run, kept for the adaptive sampler's lifetime
+    /// and occupancy stratification.
+    lifetime_spans: Vec<(usize, u64, Option<u64>, u64)>,
     pipeline: Pipeline,
     snapshots: Vec<Snapshot>,
     checkpoint_interval: u64,
@@ -224,6 +228,7 @@ impl Campaign {
         let replay_budget = (golden.len() as u64).saturating_mul(4).max(10_000);
         Ok(Campaign {
             baseline_cycles: baseline.cycles,
+            lifetime_spans: ses_avf::lifetime_spans(&baseline),
             program,
             golden,
             golden_words,
@@ -303,7 +308,7 @@ impl Campaign {
 
     /// Maps `f` over `0..n` on the configured worker threads, returning
     /// results in index order.
-    fn parallel_map<T, F>(&self, n: u32, f: F) -> Vec<T>
+    pub(crate) fn parallel_map<T, F>(&self, n: u32, f: F) -> Vec<T>
     where
         T: Send,
         F: Fn(u32) -> T + Sync,
@@ -372,6 +377,79 @@ impl Campaign {
     /// classified exactly like [`Campaign::inject_one`].
     pub fn inject_spec(&self, fault: FaultSpec) -> Outcome {
         self.classify(self.fault_outcome(fault, cfg!(debug_assertions)))
+    }
+
+    /// Like [`Campaign::inject_spec`] but without the debug-build
+    /// resume-vs-scratch cross-check, for high-volume callers (the
+    /// adaptive scheduler's exhaustive strata, property tests) that
+    /// verify a deterministic subsample themselves.
+    pub fn inject_spec_quiet(&self, fault: FaultSpec) -> Outcome {
+        self.classify(self.fault_outcome(fault, false))
+    }
+
+    /// Fault-free IPC of the golden timing run (committed instructions
+    /// over baseline cycles), the IPC the reliability model pairs with a
+    /// campaign-estimated AVF.
+    pub fn baseline_ipc(&self) -> f64 {
+        if self.baseline_cycles == 0 {
+            0.0
+        } else {
+            self.golden.len() as f64 / self.baseline_cycles as f64
+        }
+    }
+
+    /// The golden run's queue-occupancy intervals (`(alloc, dealloc)`
+    /// half-open cycle ranges), the lifetime data occupancy
+    /// stratification buckets cycle windows by.
+    pub fn residency_intervals(&self) -> Vec<(u64, u64)> {
+        self.lifetime_spans.iter().map(|&(_, a, _, d)| (a, d)).collect()
+    }
+
+    /// The golden run's per-slot `(slot, alloc, last_read, dealloc)`
+    /// lifetime spans — the data the adaptive sampler splits into live
+    /// and Ex-ACE-tail strata and uses to mask idle coordinates.
+    pub fn lifetime_spans(&self) -> &[(usize, u64, Option<u64>, u64)] {
+        &self.lifetime_spans
+    }
+
+    /// The queue capacity of the configured machine.
+    pub fn iq_entries(&self) -> usize {
+        self.config.pipeline.iq_entries
+    }
+
+    /// Runs seeded uniform injections in deterministic batches until the
+    /// 95 % CI of the chosen metric is at or below `target_halfwidth`
+    /// (evaluated at batch boundaries, after at least `min` trials) or
+    /// `max` injections have been spent. Returns the measured
+    /// [`UniformRun`]; the trials-to-target comparison against the
+    /// adaptive scheduler reads its `trials`.
+    pub fn run_uniform_to_target(
+        &self,
+        target_halfwidth: f64,
+        metric: crate::adaptive::MetricKind,
+        min: u32,
+        max: u32,
+    ) -> UniformRun {
+        let mut n = 0u32;
+        let mut events = 0u64;
+        while n < max {
+            let batch = 256.min(max - n);
+            let start = n;
+            let outcomes = self.parallel_map(batch, |i| self.inject_one(start + i));
+            events += outcomes.iter().filter(|&&o| metric.is_event(o)).count() as u64;
+            n += batch;
+            let p = f64::from(events as u32) / f64::from(n);
+            if n >= min && ses_metrics::binomial_ci95(p, u64::from(n)) <= target_halfwidth {
+                break;
+            }
+        }
+        let proportion = if n == 0 { 0.0 } else { events as f64 / f64::from(n) };
+        UniformRun {
+            trials: n,
+            events,
+            proportion,
+            halfwidth: ses_metrics::binomial_ci95(proportion, u64::from(n)),
+        }
     }
 
     /// Runs the timing model for one fault, resuming from the latest
@@ -493,6 +571,20 @@ impl Campaign {
         self.replay_cache.insert(key, verdict);
         verdict
     }
+}
+
+/// Result of a uniform run-to-target-CI campaign
+/// ([`Campaign::run_uniform_to_target`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UniformRun {
+    /// Injections spent.
+    pub trials: u32,
+    /// Injections that observed the metric's event.
+    pub events: u64,
+    /// Observed event proportion.
+    pub proportion: f64,
+    /// Achieved 95 % half-width.
+    pub halfwidth: f64,
 }
 
 /// Campaign results with per-sample fault coordinates.

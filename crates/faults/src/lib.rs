@@ -43,10 +43,15 @@
 #![deny(missing_docs)]
 #![deny(rustdoc::broken_intra_doc_links)]
 
+pub mod adaptive;
 mod campaign;
 mod outcome;
 mod report;
 
-pub use campaign::{Campaign, CampaignConfig, DetailedReport};
+pub use adaptive::{
+    build_strata, AdaptiveCampaignConfig, AdaptiveCampaignReport, AdaptiveSession, MetricKind,
+    StratumReport,
+};
+pub use campaign::{Campaign, CampaignConfig, DetailedReport, UniformRun};
 pub use outcome::Outcome;
 pub use report::{CampaignPerf, CampaignReport};

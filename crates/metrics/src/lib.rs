@@ -26,7 +26,7 @@ mod model;
 mod table;
 pub mod telemetry;
 
-pub use model::{RatePoint, ReliabilityModel};
+pub use model::{RateInterval, RatePoint, ReliabilityModel};
 pub use table::Table;
 pub use telemetry::{JsonValue, TelemetryLevel, SCHEMA_VERSION};
 

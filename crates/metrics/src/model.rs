@@ -16,6 +16,30 @@ pub struct RatePoint {
     pub ipc_over_avf: f64,
 }
 
+/// A [`RatePoint`] interval propagated from an AVF confidence interval.
+///
+/// Each side is the rate point evaluated at one edge of the AVF interval.
+/// A side whose AVF bound is zero has no finite rate (an error-free
+/// structure has unbounded MTTF/MITF) and is `None` — honest reporting
+/// instead of a fake huge number.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RateInterval {
+    /// AVF at the lower interval edge (clamped to `[0, 1]`).
+    pub avf_lo: f64,
+    /// AVF point estimate (clamped to `[0, 1]`).
+    pub avf: f64,
+    /// AVF at the upper interval edge (clamped to `[0, 1]`).
+    pub avf_hi: f64,
+    /// Rates at the point-estimate AVF (`None` when it is zero).
+    pub point: Option<RatePoint>,
+    /// Rates at the upper AVF edge — the pessimistic side: highest FIT,
+    /// lowest MTTF/MITF (`None` when the edge is zero).
+    pub pessimistic: Option<RatePoint>,
+    /// Rates at the lower AVF edge — the optimistic side (`None` when
+    /// the edge is zero).
+    pub optimistic: Option<RatePoint>,
+}
+
 /// Physical parameters of the modelled structure and machine.
 ///
 /// Defaults describe the paper's machine: a 64-entry × 64-bit instruction
@@ -63,6 +87,25 @@ impl ReliabilityModel {
             mttf,
             mitf: Mitf::new(ipc, self.frequency_hz, mttf),
             ipc_over_avf: Mitf::figure_of_merit(ipc, avf),
+        }
+    }
+
+    /// Derives the rate interval for an AVF estimate with a 95 %
+    /// half-width, evaluating [`ReliabilityModel::rate`] at the point
+    /// estimate and at both interval edges. This is how a statistical
+    /// campaign's confidence interval propagates into FIT/MTTF/MITF.
+    pub fn rate_interval(&self, ipc: Ipc, avf: f64, halfwidth: f64) -> RateInterval {
+        let lo = (avf - halfwidth).clamp(0.0, 1.0);
+        let mid = avf.clamp(0.0, 1.0);
+        let hi = (avf + halfwidth).clamp(0.0, 1.0);
+        let at = |a: f64| (a > 0.0).then(|| self.rate(ipc, Avf::from_fraction(a)));
+        RateInterval {
+            avf_lo: lo,
+            avf: mid,
+            avf_hi: hi,
+            point: at(mid),
+            pessimistic: at(hi),
+            optimistic: at(lo),
         }
     }
 
@@ -120,6 +163,29 @@ mod tests {
         assert!((p.fit.value() - 2.048).abs() < 1e-9);
         // MTTF x FIT identity.
         assert!((p.mttf.to_fit().value() - p.fit.value()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn rate_interval_brackets_the_point() {
+        let m = ReliabilityModel::default();
+        let iv = m.rate_interval(Ipc::new(1.2), 0.29, 0.03);
+        let p = iv.point.unwrap();
+        let pess = iv.pessimistic.unwrap();
+        let opt = iv.optimistic.unwrap();
+        assert!(pess.fit.value() > p.fit.value() && p.fit.value() > opt.fit.value());
+        assert!(pess.mitf.instructions() < p.mitf.instructions());
+        assert!(opt.mttf.hours() > p.mttf.hours());
+    }
+
+    #[test]
+    fn rate_interval_zero_edges_are_honest() {
+        let m = ReliabilityModel::default();
+        let z = m.rate_interval(Ipc::new(1.2), 0.01, 0.05);
+        assert_eq!(z.avf_lo, 0.0, "lower edge clamps to zero");
+        assert!(z.optimistic.is_none(), "no finite MTTF at zero AVF");
+        assert!(z.point.is_some() && z.pessimistic.is_some());
+        let all_zero = m.rate_interval(Ipc::new(1.2), 0.0, 0.0);
+        assert!(all_zero.point.is_none() && all_zero.pessimistic.is_none());
     }
 
     #[test]

@@ -19,8 +19,9 @@ use std::process::ExitCode;
 use ses_core::telemetry as artifact;
 use ses_core::{
     compare_suites, mean, run_fuzz, run_suite, run_suite_with, run_workload, spec_by_name,
-    splitmix64, suite, Campaign, CampaignConfig, DetectionModel, FalseDueCause, FuzzConfig,
-    JsonValue, Level, Outcome, Pipeline, PipelineConfig, Table, Technique, TelemetryLevel,
+    splitmix64, suite, AdaptiveCampaignConfig, AdaptiveConfig, AdaptiveSession, Campaign,
+    CampaignConfig, DetectionModel, FalseDueCause, FuzzConfig, JsonValue, Level, MetricKind,
+    Outcome, Pipeline, PipelineConfig, ReliabilityModel, Table, Technique, TelemetryLevel,
     TrackingConfig,
 };
 
@@ -343,6 +344,156 @@ fn cmd_inject(name: &str, args: &[String], tel: &Telemetry) -> Result<(), String
     Ok(())
 }
 
+/// `campaign` — a confidence-targeted fault-injection campaign: either
+/// adaptive stratified sampling (`--adaptive`) or uniform sampling run to
+/// the same target half-width, so the two budgets are directly
+/// comparable.
+fn cmd_campaign(name: &str, args: &[String], tel: &Telemetry) -> Result<(), String> {
+    let spec = spec_by_name(name).ok_or_else(|| format!("unknown benchmark '{name}'"))?;
+    let mut adaptive = false;
+    let mut target_halfwidth = 0.05f64;
+    let mut detection = DetectionModel::None;
+    let mut seed = 2026u64;
+    let mut max_injections = 200_000u32;
+    let mut gate_vs_uniform = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--adaptive" => adaptive = true,
+            "--target-halfwidth" => {
+                target_halfwidth = it
+                    .next()
+                    .ok_or("--target-halfwidth needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad half-width: {e}"))?;
+                if !(target_halfwidth > 0.0 && target_halfwidth < 1.0) {
+                    return Err("--target-halfwidth must be in (0, 1)".into());
+                }
+            }
+            "--model" => {
+                detection = match it.next().ok_or("--model needs a value")?.as_str() {
+                    "none" => DetectionModel::None,
+                    "parity" => DetectionModel::Parity { tracking: None },
+                    "tracking" => DetectionModel::Parity {
+                        tracking: Some(TrackingConfig::paper_combined()),
+                    },
+                    other => return Err(format!("unknown model '{other}'")),
+                };
+            }
+            "--seed" => {
+                seed = it
+                    .next()
+                    .ok_or("--seed needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad seed: {e}"))?;
+            }
+            "--injections" => {
+                max_injections = it
+                    .next()
+                    .ok_or("--injections needs a cap")?
+                    .parse()
+                    .map_err(|e| format!("bad count: {e}"))?;
+            }
+            "--gate-vs-uniform" => gate_vs_uniform = true,
+            other if other.starts_with("--") => return Err(format!("unknown flag '{other}'")),
+            _ => {}
+        }
+    }
+    let metric = match detection {
+        DetectionModel::None => MetricKind::SdcAvf,
+        _ => MetricKind::DueAvf,
+    };
+    let config = CampaignConfig {
+        seed,
+        detection,
+        ..CampaignConfig::default()
+    };
+    let campaign = Campaign::prepare(&spec, config).map_err(|e| e.to_string())?;
+    let model = ReliabilityModel::default();
+
+    if !adaptive {
+        let uniform =
+            campaign.run_uniform_to_target(target_halfwidth, metric, 64, max_injections);
+        println!(
+            "uniform campaign: {} trials, {} {:.2}% +/- {:.2}% (target {:.2}%)",
+            uniform.trials,
+            metric.label(),
+            uniform.proportion * 100.0,
+            uniform.halfwidth * 100.0,
+            target_halfwidth * 100.0
+        );
+        if tel.active() {
+            let mut doc = JsonValue::object();
+            doc.set("schema_version", ses_core::SCHEMA_VERSION)
+                .set("artifact", "uniform_campaign")
+                .set("telemetry", tel.level.label())
+                .set("workload", name)
+                .set("metric", metric.label())
+                .set("target_halfwidth", target_halfwidth)
+                .set("trials", uniform.trials)
+                .set("events", uniform.events)
+                .set("proportion", uniform.proportion)
+                .set("halfwidth", uniform.halfwidth);
+            tel.emit(&doc)?;
+        }
+        return Ok(());
+    }
+
+    let cfg = AdaptiveCampaignConfig {
+        adaptive: AdaptiveConfig {
+            target_halfwidth,
+            seed,
+            ..AdaptiveConfig::default()
+        },
+        metric,
+    };
+    let report = AdaptiveSession::new(&campaign, cfg.clone()).run();
+    let est = &report.estimate;
+    println!(
+        "adaptive campaign: {} trials over {} strata in {} rounds",
+        report.total_trials,
+        report.strata.len(),
+        report.rounds
+    );
+    println!(
+        "{} estimate {:.2}% +/- {:.2}% (aggregate 95% CI)",
+        metric.label(),
+        est.estimate * 100.0,
+        est.halfwidth * 100.0
+    );
+    let equivalent = report.uniform_equivalent_trials();
+    println!(
+        "uniform sampling would need ~{} trials for the same half-width ({:.1}x savings)",
+        equivalent,
+        report.uniform_savings()
+    );
+    let rates = report.rate_interval(&model);
+    if let Some(p) = rates.point {
+        let pess = rates.pessimistic.unwrap_or(p);
+        println!(
+            "rates: {:.3} FIT (<= {:.3}), MITF {:.3e} instructions (>= {:.3e})",
+            p.fit.value(),
+            pess.fit.value(),
+            p.mitf.instructions(),
+            pess.mitf.instructions()
+        );
+    } else {
+        println!("rates: no events observed; FIT interval starts at 0");
+    }
+    if tel.active() {
+        tel.emit(&artifact::adaptive_campaign_artifact(
+            name, &cfg, &report, &model, tel.level,
+        ))?;
+    }
+    if gate_vs_uniform && report.total_trials >= equivalent {
+        return Err(format!(
+            "adaptive campaign used {} trials but uniform would need only {}",
+            report.total_trials, equivalent
+        ));
+    }
+    Ok(())
+}
+
 fn cmd_pet(name: &str, tel: &Telemetry) -> Result<(), String> {
     let spec = spec_by_name(name).ok_or_else(|| format!("unknown benchmark '{name}'"))?;
     let run = run_workload(&spec, &PipelineConfig::default()).map_err(|e| e.to_string())?;
@@ -620,6 +771,7 @@ fn usage() -> &'static str {
        suite [flags]               run all 26 benchmarks, print AVF summary\n\
        bench <name> [flags]        detailed report for one benchmark\n\
        inject <name> [options]     fault-injection campaign\n\
+       campaign <name> [options]   confidence-targeted campaign (adaptive or uniform)\n\
        pet <name>                  PET-buffer size sweep\n\
        run-asm <file.s>            assemble and analyse a SES-64 program\n\
        compare [flags]             suite baseline-vs-variant comparison\n\
@@ -627,6 +779,8 @@ fn usage() -> &'static str {
      \n\
      machine flags: --squash l0|l1    --throttle l0|l1\n\
      inject options: --injections N   --model none|parity|tracking\n\
+     campaign options: --adaptive  --target-halfwidth W  --model none|parity|tracking\n\
+                       --seed N  --injections CAP  --gate-vs-uniform\n\
      fuzz options: --seed N  --iters N  --shrink|--no-shrink  --out DIR\n\
                    --inject-every N  --emit-corpus DIR  --corpus-count N\n\
      artifact flags (any command): --json <path>   --telemetry off|summary|full"
@@ -644,6 +798,10 @@ fn dispatch(args: &[String]) -> Result<(), String> {
         Some("inject") => match args.get(1) {
             Some(name) if !name.starts_with("--") => cmd_inject(name, &args[2..], &tel),
             _ => Err("inject needs a benchmark name".into()),
+        },
+        Some("campaign") => match args.get(1) {
+            Some(name) if !name.starts_with("--") => cmd_campaign(name, &args[2..], &tel),
+            _ => Err("campaign needs a benchmark name".into()),
         },
         Some("pet") => match args.get(1) {
             Some(name) if !name.starts_with("--") => cmd_pet(name, &tel),

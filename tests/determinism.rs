@@ -104,3 +104,117 @@ fn suite_artifact_is_thread_count_invariant() {
     let b = suite_artifact(&cfg, &many, &[], TelemetryLevel::Summary).render();
     assert_eq!(a, b, "suite telemetry artifact must not depend on threads");
 }
+
+/// The adaptive campaign plans rounds single-threaded and evaluates them
+/// through an order-preserving parallel map, so its Summary artifact —
+/// estimate, per-stratum trial counts, CI trajectory and all — must be
+/// byte-identical no matter how many workers evaluate the trials.
+#[test]
+fn adaptive_artifact_is_thread_count_invariant() {
+    use ses_core::telemetry::adaptive_campaign_artifact;
+    use ses_core::{
+        AdaptiveCampaignConfig, AdaptiveConfig, AdaptiveSession, Campaign, CampaignConfig,
+        DetectionModel, MetricKind, ReliabilityModel, TelemetryLevel,
+    };
+    let spec = WorkloadSpec::quick("det-adaptive-threads", 13);
+    let cfg = AdaptiveCampaignConfig {
+        adaptive: AdaptiveConfig {
+            target_halfwidth: 0.08,
+            min_per_stratum: 8,
+            round_budget: 128,
+            max_rounds: 16,
+            seed: 0xD7,
+            ..AdaptiveConfig::default()
+        },
+        metric: MetricKind::SdcAvf,
+    };
+    let render_with = |threads: usize| {
+        let campaign = Campaign::prepare(
+            &spec,
+            CampaignConfig {
+                seed: 21,
+                detection: DetectionModel::Parity { tracking: None },
+                threads,
+                ..CampaignConfig::default()
+            },
+        )
+        .unwrap();
+        let mut session = AdaptiveSession::new(&campaign, cfg.clone());
+        let report = session.run();
+        adaptive_campaign_artifact(
+            "det-adaptive",
+            &cfg,
+            &report,
+            &ReliabilityModel::default(),
+            TelemetryLevel::Summary,
+        )
+        .render()
+    };
+    let one = render_with(1);
+    let two = render_with(2);
+    let eight = render_with(8);
+    assert_eq!(one, two, "adaptive artifact must not depend on threads (1 vs 2)");
+    assert_eq!(one, eight, "adaptive artifact must not depend on threads (1 vs 8)");
+}
+
+/// Stopping an adaptive campaign mid-flight, checkpointing the scheduler,
+/// and resuming in a fresh session must land on the same artifact as an
+/// uninterrupted run — byte for byte, including the round trajectory.
+#[test]
+fn adaptive_artifact_survives_stop_and_resume() {
+    use ses_core::telemetry::adaptive_campaign_artifact;
+    use ses_core::{
+        AdaptiveCampaignConfig, AdaptiveConfig, AdaptiveSession, Campaign, CampaignConfig,
+        DetectionModel, MetricKind, ReliabilityModel, TelemetryLevel,
+    };
+    let spec = WorkloadSpec::quick("det-adaptive-resume", 29);
+    let cfg = AdaptiveCampaignConfig {
+        adaptive: AdaptiveConfig {
+            target_halfwidth: 0.06,
+            min_per_stratum: 8,
+            round_budget: 128,
+            max_rounds: 16,
+            seed: 0xAB,
+            ..AdaptiveConfig::default()
+        },
+        metric: MetricKind::DueAvf,
+    };
+    let campaign = Campaign::prepare(
+        &spec,
+        CampaignConfig {
+            seed: 33,
+            detection: DetectionModel::Parity { tracking: None },
+            threads: 2,
+            ..CampaignConfig::default()
+        },
+    )
+    .unwrap();
+    let render = |report: &ses_core::AdaptiveCampaignReport| {
+        adaptive_campaign_artifact(
+            "det-adaptive-resume",
+            &cfg,
+            report,
+            &ReliabilityModel::default(),
+            TelemetryLevel::Summary,
+        )
+        .render()
+    };
+
+    let mut straight = AdaptiveSession::new(&campaign, cfg.clone());
+    let uninterrupted = straight.run();
+
+    // Interrupt after the pilot round, serialise, resume elsewhere.
+    let mut first = AdaptiveSession::new(&campaign, cfg.clone());
+    assert!(first.step_round(), "pilot round must run");
+    let ckpt = first.checkpoint();
+    drop(first);
+    let mut resumed = AdaptiveSession::resume(&campaign, cfg.clone(), &ckpt);
+    let resumed_report = resumed.run();
+
+    assert!(uninterrupted.total_trials > 0);
+    assert_eq!(
+        render(&uninterrupted),
+        render(&resumed_report),
+        "stop/resume must not perturb the adaptive artifact"
+    );
+}

@@ -216,3 +216,245 @@ proptest! {
         }
     }
 }
+
+/// The adaptive stratified estimator: its algebra must reproduce the
+/// uniform estimator exactly at the census limit and in expectation
+/// under sampling, and its pooled interval must always sit inside the
+/// per-stratum union bound.
+mod adaptive_estimator {
+    use super::*;
+    use ses_core::{
+        splitmix64, AdaptiveConfig, AdaptiveScheduler, FaultCoord, OccupancyProfile, Strata,
+    };
+
+    fn toy_strata(cycles: u64, iq: usize) -> Strata {
+        // Queue busy in the middle half, so the occupancy axis is real.
+        let intervals: Vec<(u64, u64)> = (0..iq).map(|_| (cycles / 4, 3 * cycles / 4)).collect();
+        let profile = OccupancyProfile::from_intervals(cycles, iq, intervals, 8);
+        Strata::build(cycles, iq, &profile)
+    }
+
+    /// A deterministic pseudo-random outcome field over coordinates with
+    /// bit-dependent density, so strata genuinely differ in proportion.
+    fn synthetic_outcome(seed: u64, c: &FaultCoord) -> bool {
+        let h = splitmix64(
+            seed ^ (c.cycle << 20) ^ ((c.slot as u64) << 8) ^ u64::from(c.bit),
+        );
+        h % 1000 < 60 + 500 * u64::from(c.bit < 12)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+
+        /// At the census limit (every stratum enumerated) the
+        /// post-stratified estimate IS the uniform population mean, with
+        /// a zero-width interval.
+        #[test]
+        fn exhaustive_stratified_estimate_equals_population_mean(
+            seed in any::<u64>(),
+            cycles in 24u64..72,
+            iq in 2usize..6,
+        ) {
+            let strata = toy_strata(cycles, iq);
+            let cfg = AdaptiveConfig {
+                exhaust_threshold: u64::MAX,
+                ..AdaptiveConfig::default()
+            };
+            let mut sched = AdaptiveScheduler::new(strata.clone(), cfg);
+            sched.run_to_completion(|c| synthetic_outcome(seed, c));
+            let est = sched.estimate();
+
+            let mut events = 0u64;
+            for cycle in 0..cycles {
+                for slot in 0..iq {
+                    for bit in 0..64 {
+                        let c = FaultCoord { cycle, slot, bit };
+                        prop_assert!(strata.stratum_of(&c).is_some());
+                        events += u64::from(synthetic_outcome(seed, &c));
+                    }
+                }
+            }
+            let mean = events as f64 / strata.total_size() as f64;
+            prop_assert!((est.estimate - mean).abs() < 1e-9,
+                "census estimate {} != population mean {}", est.estimate, mean);
+            prop_assert_eq!(est.halfwidth, 0.0);
+        }
+
+        /// Under sampling, the pooled interval must sit inside the
+        /// weighted union bound (quadrature <= linear combination), the
+        /// estimate must stay a convex combination, and the trajectory's
+        /// cumulative trial count must be monotone.
+        #[test]
+        fn sampled_estimate_pooled_interval_within_union_bound(
+            seed in any::<u64>(),
+            sched_seed in any::<u64>(),
+        ) {
+            let strata = toy_strata(48, 4);
+            let cfg = AdaptiveConfig {
+                target_halfwidth: 0.05,
+                round_budget: 256,
+                seed: sched_seed,
+                ..AdaptiveConfig::default()
+            };
+            let mut sched = AdaptiveScheduler::new(strata, cfg);
+            sched.run_to_completion(|c| synthetic_outcome(seed, c));
+            let est = sched.estimate();
+            prop_assert!((0.0..=1.0).contains(&est.estimate));
+            let (plo, phi) = est.interval();
+            let (ulo, uhi) = est.union_bound();
+            prop_assert!(plo >= ulo - 1e-12 && phi <= uhi + 1e-12,
+                "pooled [{plo}, {phi}] escapes union [{ulo}, {uhi}]");
+            let mut last = 0u64;
+            for r in sched.trajectory() {
+                prop_assert!(r.cumulative_trials >= last);
+                last = r.cumulative_trials;
+            }
+        }
+    }
+
+    /// Averaged over many scheduler seeds, the sampled post-stratified
+    /// estimate agrees with the uniform population mean: the estimator
+    /// is unbiased in expectation. Deterministic given the fixed seed
+    /// list, so this cannot flap.
+    #[test]
+    fn sampled_estimate_is_unbiased_in_expectation() {
+        let strata = toy_strata(40, 4);
+        let outcome_seed = 0xFEED;
+        let mut events = 0u64;
+        for cycle in 0..40 {
+            for slot in 0..4usize {
+                for bit in 0..64 {
+                    let c = FaultCoord { cycle, slot, bit };
+                    events += u64::from(synthetic_outcome(outcome_seed, &c));
+                }
+            }
+        }
+        let mean = events as f64 / strata.total_size() as f64;
+
+        let runs = 32;
+        let avg: f64 = (0..runs)
+            .map(|s| {
+                let cfg = AdaptiveConfig {
+                    target_halfwidth: 0.06,
+                    round_budget: 192,
+                    seed: 0x1000 + s,
+                    ..AdaptiveConfig::default()
+                };
+                let mut sched = AdaptiveScheduler::new(strata.clone(), cfg);
+                sched.run_to_completion(|c| synthetic_outcome(outcome_seed, c));
+                sched.estimate().estimate
+            })
+            .sum::<f64>()
+            / runs as f64;
+        assert!(
+            (avg - mean).abs() < 0.02,
+            "mean of {runs} adaptive estimates {avg:.4} drifted from population mean {mean:.4}"
+        );
+    }
+}
+
+/// Pooled-versus-union consistency of the uniform campaign's own
+/// intervals: for any grouping of outcome classes, the CI of the pooled
+/// proportion must sit inside the sum of the member CIs (sqrt
+/// subadditivity), so reports can always quote the tighter pooled
+/// number.
+#[test]
+fn campaign_report_pooled_ci_within_union_of_member_cis() {
+    use ses_core::{Campaign, CampaignConfig, Outcome};
+    let spec = WorkloadSpec::quick("pooled-ci", 23);
+    let config = CampaignConfig {
+        injections: 400,
+        seed: 9,
+        detection: ses_core::DetectionModel::Parity { tracking: None },
+        ..CampaignConfig::default()
+    };
+    let report = Campaign::prepare(&spec, config).unwrap().run();
+    let groups: [&[Outcome]; 2] = [
+        &[Outcome::FalseDue, Outcome::TrueDue],
+        &[Outcome::Sdc, Outcome::SuppressedSdc, Outcome::Hang],
+    ];
+    for group in groups {
+        let pooled_p: f64 = group.iter().map(|&o| report.fraction(o)).sum();
+        let pooled_ci = report.ci95(pooled_p);
+        let union_ci: f64 = group.iter().map(|&o| report.ci95(report.fraction(o))).sum();
+        assert!(
+            pooled_ci <= union_ci + 1e-12,
+            "pooled CI {pooled_ci} exceeds union {union_ci} for {group:?}"
+        );
+    }
+}
+
+/// Satellite: fixed-seed adaptive campaign on a small program, run at the
+/// exhaustive limit, must agree *exactly* with a brute-force census of the
+/// whole injection space — the estimator's weights, masked-idle handling
+/// and phase partition introduce no bias at all, not just asymptotically.
+#[test]
+fn adaptive_exhaustive_agrees_with_census_on_small_program() {
+    use ses_core::{
+        build_strata, AdaptiveCampaignConfig, AdaptiveConfig, AdaptiveSession, Campaign,
+        CampaignConfig, DetectionModel, FaultSpec, MetricKind, PipelineConfig,
+    };
+    use ses_isa::Program;
+    // Hand-built so the injection space is small enough to enumerate
+    // twice: dependent adds (live reads), an overwritten-without-read
+    // value (a dead tail for the Tail phase), and an output to make
+    // corruption architecturally visible.
+    let mut code = vec![Instruction::movi(Reg::new(1), 3)];
+    for i in 0..24u8 {
+        code.push(Instruction::add(
+            Reg::new(2 + i % 4),
+            Reg::new(1),
+            Reg::new(if i % 3 == 0 { 1 } else { 2 + (i + 1) % 4 }),
+        ));
+        if i % 6 == 0 {
+            // Dead write: clobbered by the next iteration before any read.
+            code.push(Instruction::movi(Reg::new(7), i32::from(i)));
+        }
+    }
+    code.push(Instruction::out(Reg::new(2)));
+    code.push(Instruction::out(Reg::new(5)));
+    code.push(Instruction::halt());
+    let config = CampaignConfig {
+        seed: 5,
+        detection: DetectionModel::None,
+        threads: 1,
+        pipeline: PipelineConfig {
+            iq_entries: 4,
+            ..PipelineConfig::default()
+        },
+        ..CampaignConfig::default()
+    };
+    let campaign = Campaign::prepare_program(Program::new(code), 1000, config).unwrap();
+    let metric = MetricKind::SdcAvf;
+    let mut session = AdaptiveSession::new(
+        &campaign,
+        AdaptiveCampaignConfig {
+            adaptive: AdaptiveConfig {
+                exhaust_threshold: u64::MAX,
+                ..AdaptiveConfig::default()
+            },
+            metric,
+        },
+    );
+    let report = session.run();
+
+    // Brute-force census over every stratified coordinate; masked (idle)
+    // coordinates are benign by construction and contribute zero events.
+    let strata = build_strata(&campaign);
+    let mut events = 0u64;
+    for s in strata.strata() {
+        for rank in 0..s.size() {
+            let c = s.coord(rank);
+            let outcome = campaign.inject_spec_quiet(FaultSpec::single(ses_types::Cycle::new(c.cycle), c.slot, c.bit));
+            events += u64::from(metric.is_event(outcome));
+        }
+    }
+    let census = events as f64 / strata.total_size() as f64;
+    assert_eq!(report.total_trials, strata.sampled_size());
+    assert!(
+        (report.estimate.estimate - census).abs() < 1e-12,
+        "exhaustive adaptive {} != census {census}",
+        report.estimate.estimate
+    );
+    assert_eq!(report.estimate.halfwidth, 0.0);
+}

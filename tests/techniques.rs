@@ -95,3 +95,66 @@ fn pet_sizes_interpolate_between_nothing_and_register_pi() {
     assert!(c32 <= c512 && c512 <= c16k && c16k <= reg);
     assert!(c16k > c32, "bigger PET buffers must add coverage");
 }
+
+#[test]
+fn squash_and_throttle_trade_ipc_for_mitf_on_corpus_programs() {
+    // Paper §3 Table 1: both technique families must move the machine in
+    // the same direction on real workloads — AVF down, MITF (mean
+    // instructions to failure) up — at a bounded IPC cost. A technique
+    // that lowered AVF by stalling so hard that MITF fell too would be
+    // a net reliability loss; this pins the trade on two corpus programs
+    // with distinct memory behaviour.
+    use ses_core::ReliabilityModel;
+    let model = ReliabilityModel::default();
+    for name in ["cc", "equake"] {
+        let spec = spec_by_name(name).expect("program in suite");
+        let base = run_workload(&spec, &PipelineConfig::default()).unwrap();
+        let base_ipc = base.result.ipc();
+        let base_rate = model.rate(base_ipc, base.avf.sdc_avf());
+
+        for (label, cfg, stalls) in [
+            (
+                "squash",
+                PipelineConfig::default().with_squash(Level::L1),
+                false,
+            ),
+            (
+                "throttle",
+                PipelineConfig::default().with_throttle(Level::L1),
+                true,
+            ),
+        ] {
+            let run = run_workload(&spec, &cfg).unwrap();
+            if stalls {
+                assert!(run.result.throttled_cycles > 0, "{name}: throttle engages");
+            } else {
+                assert!(run.result.squashes > 0, "{name}: squash engages");
+            }
+            let ipc = run.result.ipc();
+            let avf = run.avf.sdc_avf();
+            let rate = model.rate(ipc, avf);
+            assert!(
+                avf.fraction() < base.avf.sdc_avf().fraction(),
+                "{name}/{label}: AVF must drop ({:.4} vs base {:.4})",
+                avf.fraction(),
+                base.avf.sdc_avf().fraction()
+            );
+            assert!(
+                rate.mitf.instructions() > base_rate.mitf.instructions(),
+                "{name}/{label}: MITF must rise ({:.3e} vs base {:.3e})",
+                rate.mitf.instructions(),
+                base_rate.mitf.instructions()
+            );
+            let ipc_loss = 1.0 - ipc.value() / base_ipc.value();
+            assert!(
+                ipc_loss < 0.35,
+                "{name}/{label}: IPC cost must stay modest, lost {:.1}%",
+                ipc_loss * 100.0
+            );
+            assert!(
+                rate.ipc_over_avf > base_rate.ipc_over_avf,
+                "{name}/{label}: IPC/AVF figure of merit must improve"
+            );
+        }
+    }
+}
