@@ -22,10 +22,11 @@
 //! committed instructions are wholly ACE (the paper's conservative
 //! granularity).
 
-use ses_isa::{bits_of_kind, BitKind, BIT_COUNT};
-use ses_pipeline::{Occupant, Residency, ResidencyEnd};
+use ses_isa::{field_mask, BitKind};
+use ses_pipeline::Residency;
 
-use crate::dead::{DeadKind, DeadMap};
+use crate::dead::DeadMap;
+use crate::span::ResidencySpans;
 
 /// Why exposed bit-cycles are un-ACE (the false-DUE causes).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -99,7 +100,7 @@ impl ResidencyBits {
         self.unace[idx]
     }
 
-    fn add_cause(&mut self, cause: FalseDueCause, amount: u64) {
+    pub(crate) fn add_cause(&mut self, cause: FalseDueCause, amount: u64) {
         let idx = FalseDueCause::ALL
             .iter()
             .position(|&c| c == cause)
@@ -108,83 +109,39 @@ impl ResidencyBits {
     }
 }
 
-fn dest_spec_bits() -> u64 {
-    (bits_of_kind(BitKind::DestSpec).count() + bits_of_kind(BitKind::PredDestSpec).count()) as u64
+/// ACE bits of a dynamically dead instruction: the destination
+/// general-register plus predicate specifiers. Folded at compile time
+/// from the encoding's field masks — `classify` never rescans the bit
+/// map.
+pub(crate) const fn dest_spec_bits() -> u64 {
+    (field_mask(BitKind::DestSpec) | field_mask(BitKind::PredDestSpec)).count_ones() as u64
 }
 
-fn opcode_bits() -> u64 {
-    bits_of_kind(BitKind::Opcode).count() as u64
+/// ACE bits of a neutral instruction: the opcode field. Compile-time
+/// constant, like [`dest_spec_bits`].
+pub(crate) const fn opcode_bits() -> u64 {
+    field_mask(BitKind::Opcode).count_ones() as u64
 }
 
-fn kind_index(kind: BitKind) -> usize {
-    BitKind::ALL
-        .iter()
-        .position(|&k| k == kind)
-        .expect("kind in table")
+/// Index of a kind in [`BitKind::ALL`] (declaration order, pinned by a
+/// unit test below).
+pub(crate) const fn kind_index(kind: BitKind) -> usize {
+    kind as usize
 }
 
-fn kind_width(kind: BitKind) -> u64 {
-    bits_of_kind(kind).count() as u64
+/// Bit width of one instruction-word field kind.
+pub(crate) const fn kind_width(kind: BitKind) -> u64 {
+    field_mask(kind).count_ones() as u64
 }
 
 /// Classifies one residency into bit-cycle buckets.
+///
+/// A thin wrapper over the span engine: the residency's (at most two)
+/// piecewise-constant segments are derived and summed as
+/// `popcount(mask) × length` — see [`crate::span`] for the interval
+/// algebra. No per-cycle or per-bit loop is involved.
 pub fn classify(res: &Residency, dead: &DeadMap) -> ResidencyBits {
-    let bits = BIT_COUNT as u64;
-    let exposed = res.exposed_cycles();
-    let unread_cycles = res.valid_cycles() - exposed;
-    let mut out = ResidencyBits {
-        unread: unread_cycles * bits,
-        ..Default::default()
-    };
-    if exposed == 0 {
-        return out;
-    }
-    let exposed_bits = exposed * bits;
-
-    match res.occupant {
-        Occupant::WrongPath => out.add_cause(FalseDueCause::WrongPath, exposed_bits),
-        Occupant::CorrectPath { trace_idx } => {
-            if res.end == ResidencyEnd::Squashed {
-                out.add_cause(FalseDueCause::Squashed, exposed_bits);
-            } else if res.falsely_predicated {
-                out.add_cause(FalseDueCause::FalselyPredicated, exposed_bits);
-            } else if res.instr.is_neutral() {
-                // Only the opcode bits can change the outcome (§4.1).
-                let ace = opcode_bits() * exposed;
-                out.ace += ace;
-                out.ace_by_kind[kind_index(BitKind::Opcode)] += ace;
-                out.add_cause(FalseDueCause::Neutral, exposed_bits - ace);
-            } else {
-                let kind = dead.get(trace_idx).kind;
-                match kind {
-                    DeadKind::Live => {
-                        out.ace += exposed_bits;
-                        for k in BitKind::ALL {
-                            out.ace_by_kind[kind_index(k)] += kind_width(k) * exposed;
-                        }
-                    }
-                    dead_kind => {
-                        // Only the destination specifiers stay ACE (§4.1).
-                        let ace = dest_spec_bits() * exposed;
-                        out.ace += ace;
-                        out.ace_by_kind[kind_index(BitKind::DestSpec)] +=
-                            kind_width(BitKind::DestSpec) * exposed;
-                        out.ace_by_kind[kind_index(BitKind::PredDestSpec)] +=
-                            kind_width(BitKind::PredDestSpec) * exposed;
-                        let cause = match dead_kind {
-                            DeadKind::FddReg => FalseDueCause::DeadFddReg,
-                            DeadKind::TddReg => FalseDueCause::DeadTddReg,
-                            DeadKind::FddMem => FalseDueCause::DeadFddMem,
-                            DeadKind::TddMem => FalseDueCause::DeadTddMem,
-                            DeadKind::Live => unreachable!(),
-                        };
-                        out.add_cause(cause, exposed_bits - ace);
-                    }
-                }
-            }
-        }
-    }
-    out
+    ResidencySpans::derive(res, dead).bits()
 }
 
 #[cfg(test)]
@@ -221,6 +178,22 @@ mod tests {
         let t = Emulator::new(&p).run(1000).unwrap();
         let d = DeadMap::analyze(&t);
         (t, d)
+    }
+
+    #[test]
+    fn const_mask_helpers_pin_field_widths() {
+        // The helpers are const: these hold at compile time.
+        const _: () = assert!(opcode_bits() == 6);
+        const _: () = assert!(dest_spec_bits() == 9);
+        assert_eq!(opcode_bits(), kind_width(BitKind::Opcode));
+        assert_eq!(
+            dest_spec_bits(),
+            kind_width(BitKind::DestSpec) + kind_width(BitKind::PredDestSpec)
+        );
+        for (i, k) in BitKind::ALL.iter().enumerate() {
+            assert_eq!(kind_index(*k), i, "ALL order is declaration order");
+            assert_eq!(kind_width(*k), ses_isa::bits_of_kind(*k).count() as u64);
+        }
     }
 
     #[test]

@@ -1,46 +1,13 @@
 //! AVF aggregation: SDC / DUE decomposition and per-technique false-DUE
 //! coverage (the analytic engine behind Tables 1 and Figures 2–4).
 
-use ses_isa::{bits_of_kind, BitKind};
+use ses_isa::BitKind;
 use ses_pipeline::PipelineResult;
 use ses_types::Avf;
 
-use crate::ace::{classify, FalseDueCause, ResidencyBits};
+use crate::ace::{kind_width, FalseDueCause, ResidencyBits};
 use crate::dead::DeadMap;
-
-/// The queue-occupancy lifetime intervals of a timing run, as half-open
-/// `(alloc, dealloc)` cycle ranges — the raw lifetime data the adaptive
-/// stratified sampler buckets cycle windows by. Extracted here so the
-/// stratifier and the analytic AVF engine read the residency log the
-/// same way.
-pub fn occupancy_intervals(result: &PipelineResult) -> Vec<(u64, u64)> {
-    result
-        .residencies
-        .iter()
-        .map(|r| (r.alloc.as_u64(), r.dealloc.as_u64()))
-        .collect()
-}
-
-/// The per-slot lifetime spans of a timing run, as
-/// `(slot, alloc, last_read, dealloc)` tuples (`last_read` is `None` for
-/// residencies that were never issued). The adaptive stratified sampler
-/// uses these to split each occupancy into its pre-read (live) and
-/// post-read (Ex-ACE tail) phase — the same lifetime boundary the
-/// analytic ACE classification draws.
-pub fn lifetime_spans(result: &PipelineResult) -> Vec<(usize, u64, Option<u64>, u64)> {
-    result
-        .residencies
-        .iter()
-        .map(|r| {
-            (
-                r.slot,
-                r.alloc.as_u64(),
-                r.last_read.map(|c| c.as_u64()),
-                r.dealloc.as_u64(),
-            )
-        })
-        .collect()
-}
+use crate::span::SpanSet;
 
 /// Occupancy-state fractions of the instruction queue (the paper §4.1
 /// reports ≈30 % idle, 8 % Ex-ACE, 33 % valid un-ACE, 29 % ACE).
@@ -139,6 +106,14 @@ pub struct AvfAnalysis {
 }
 
 /// One bucket of the exposure timeline.
+///
+/// A residency's *entire* exposure is attributed to the bucket containing
+/// its **allocation cycle**, even when the residency straddles bucket
+/// boundaries — the span engine adds whole `width × length` terms, never
+/// splitting a segment across buckets. This attribution is part of the
+/// output contract: the golden artifact files pin it byte-for-byte, so it
+/// must not be changed to proportional splitting without regenerating
+/// them.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct TimelinePoint {
     /// Bucket start cycle.
@@ -153,38 +128,64 @@ pub struct TimelinePoint {
 impl AvfAnalysis {
     /// Analyses a pipeline result against the dead map of its trace.
     ///
+    /// Convenience wrapper: derives the run's [`SpanSet`] and aggregates
+    /// it with [`AvfAnalysis::from_spans`]. Callers that already hold a
+    /// span set (the suite runner, the injection oracle) should call
+    /// `from_spans` directly rather than re-deriving.
+    ///
     /// # Panics
     ///
     /// Panics if the run produced zero cycles.
     pub fn new(result: &PipelineResult, dead: &DeadMap) -> Self {
-        assert!(result.cycles > 0, "cannot analyse an empty run");
+        Self::from_spans(&SpanSet::derive(result, dead))
+    }
+
+    /// Aggregates a span set into the full analysis by interval algebra:
+    /// every total is a sum of `popcount(mask) × span_length` terms over
+    /// the (at most two) segments of each residency — no loop iterates
+    /// cycles or bits, so the cost is O(residencies) regardless of trace
+    /// length or queue width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the underlying run produced zero cycles.
+    pub fn from_spans(spans: &SpanSet) -> Self {
+        let cycles = spans.cycles();
+        assert!(cycles > 0, "cannot analyse an empty run");
         const TIMELINE_BUCKETS: u64 = 64;
-        let bucket = (result.cycles / TIMELINE_BUCKETS).max(1);
-        let mut timeline: Vec<TimelinePoint> = (0..result.cycles.div_ceil(bucket))
+        let bucket = (cycles / TIMELINE_BUCKETS).max(1);
+        let mut timeline: Vec<TimelinePoint> = (0..cycles.div_ceil(bucket))
             .map(|i| TimelinePoint {
                 start_cycle: i * bucket,
                 ..Default::default()
             })
             .collect();
         let mut bits = ResidencyBits::default();
-        for res in &result.residencies {
-            let b = classify(res, dead);
-            bits.ace += b.ace;
-            bits.unread += b.unread;
-            for i in 0..bits.unace.len() {
-                bits.unace[i] += b.unace[i];
-            }
-            for i in 0..bits.ace_by_kind.len() {
-                bits.ace_by_kind[i] += b.ace_by_kind[i];
-            }
-            let idx = ((res.alloc.as_u64() / bucket) as usize).min(timeline.len() - 1);
-            timeline[idx].valid += b.valid_total();
-            timeline[idx].ace += b.ace;
+        for rs in spans.residencies() {
+            let before_ace = bits.ace;
+            let before_valid = bits.valid_total();
+            rs.accumulate(&mut bits);
+            let idx = ((rs.lifetime.alloc / bucket) as usize).min(timeline.len() - 1);
+            timeline[idx].valid += bits.valid_total() - before_valid;
+            timeline[idx].ace += bits.ace - before_ace;
         }
+        Self::from_parts(cycles, spans.iq_capacity(), bits, timeline)
+    }
+
+    /// Assembles an analysis from already-aggregated totals. Shared by the
+    /// span engine above and the test-only exhaustive per-bit-cycle engine
+    /// ([`crate::exhaustive`]), so property comparisons between the two
+    /// flow through identical reporting code.
+    pub(crate) fn from_parts(
+        cycles: u64,
+        iq_capacity: u64,
+        bits: ResidencyBits,
+        timeline: Vec<TimelinePoint>,
+    ) -> Self {
         AvfAnalysis {
-            total_bit_cycles: result.cycles * result.iq_capacity as u64 * 64,
-            cycles: result.cycles,
-            iq_capacity: result.iq_capacity as u64,
+            total_bit_cycles: cycles * iq_capacity * 64,
+            cycles,
+            iq_capacity,
             bits,
             timeline,
         }
@@ -207,7 +208,7 @@ impl AvfAnalysis {
             .iter()
             .enumerate()
             .map(|(i, &kind)| {
-                let width = bits_of_kind(kind).count() as u64;
+                let width = kind_width(kind);
                 KindAvf {
                     kind,
                     width,

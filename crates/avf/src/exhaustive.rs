@@ -1,0 +1,169 @@
+//! The exhaustive per-bit-cycle reference engine — test/bench oracle only.
+//!
+//! This module keeps the pre-interval-algebra accounting alive in its most
+//! literal form: every valid (bit × cycle) of every residency is visited
+//! and classified individually, exactly as the paper's definitions are
+//! stated. It exists for two reasons:
+//!
+//! * the **property suite** asserts the span engine ([`crate::span`])
+//!   produces identical [`BitCycleDecomposition`], state fractions,
+//!   per-kind AVFs, and technique coverage on fuzzed workloads — the two
+//!   engines share only the reporting code
+//!   ([`AvfAnalysis::from_parts`]), not the accounting;
+//! * the **`avf_speed` bench** measures the span engine's throughput
+//!   against this path (the ≥10x gate in `BENCH_avf.json`).
+//!
+//! Production code must never call this: it is O(bits × cycles) per
+//! residency where the span engine is O(1).
+//!
+//! [`BitCycleDecomposition`]: crate::BitCycleDecomposition
+//! [`AvfAnalysis::from_parts`]: crate::AvfAnalysis
+
+use ses_isa::{bit_kind, BIT_COUNT};
+use ses_pipeline::{Occupant, PipelineResult, Residency, ResidencyEnd};
+
+use crate::ace::{kind_index, FalseDueCause, ResidencyBits};
+use crate::avf::{AvfAnalysis, TimelinePoint};
+use crate::dead::{DeadKind, DeadMap};
+
+/// How one (bit × cycle) is accounted.
+enum BitFate {
+    Ace,
+    Unace(FalseDueCause),
+}
+
+/// The fate of bit `b` of a residency's word during one *exposed* cycle,
+/// by the paper's §4.1 rules, evaluated per bit with no masks.
+fn exposed_bit_fate(res: &Residency, dead: &DeadMap, b: usize) -> BitFate {
+    match res.occupant {
+        Occupant::WrongPath => BitFate::Unace(FalseDueCause::WrongPath),
+        Occupant::CorrectPath { trace_idx } => {
+            if res.end == ResidencyEnd::Squashed {
+                BitFate::Unace(FalseDueCause::Squashed)
+            } else if res.falsely_predicated {
+                BitFate::Unace(FalseDueCause::FalselyPredicated)
+            } else if res.instr.is_neutral() {
+                if bit_kind(b).ace_when_neutral() {
+                    BitFate::Ace
+                } else {
+                    BitFate::Unace(FalseDueCause::Neutral)
+                }
+            } else {
+                match dead.get(trace_idx).kind {
+                    DeadKind::Live => BitFate::Ace,
+                    dead_kind => {
+                        if bit_kind(b).ace_when_dead() {
+                            BitFate::Ace
+                        } else {
+                            BitFate::Unace(match dead_kind {
+                                DeadKind::FddReg => FalseDueCause::DeadFddReg,
+                                DeadKind::TddReg => FalseDueCause::DeadTddReg,
+                                DeadKind::FddMem => FalseDueCause::DeadFddMem,
+                                DeadKind::TddMem => FalseDueCause::DeadTddMem,
+                                DeadKind::Live => unreachable!(),
+                            })
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Classifies one residency by enumerating every (bit × cycle) of its
+/// valid window individually — the legacy accounting the span engine
+/// replaced.
+pub fn classify_exhaustive(res: &Residency, dead: &DeadMap) -> ResidencyBits {
+    let alloc = res.alloc.as_u64();
+    let dealloc = res.dealloc.as_u64();
+    let boundary = res
+        .last_read
+        .map(|c| c.as_u64())
+        .unwrap_or(alloc)
+        .clamp(alloc, dealloc);
+    let mut out = ResidencyBits::default();
+    for cycle in alloc..dealloc {
+        let exposed = cycle < boundary;
+        for b in 0..BIT_COUNT {
+            if !exposed {
+                out.unread += 1;
+                continue;
+            }
+            match exposed_bit_fate(res, dead, b) {
+                BitFate::Ace => {
+                    out.ace += 1;
+                    out.ace_by_kind[kind_index(bit_kind(b))] += 1;
+                }
+                BitFate::Unace(cause) => out.add_cause(cause, 1),
+            }
+        }
+    }
+    out
+}
+
+/// Full-run analysis via the exhaustive per-bit-cycle classifier, with
+/// the same timeline bucketing as [`AvfAnalysis::from_spans`], so the
+/// result is directly comparable to the span engine's.
+///
+/// [`AvfAnalysis::from_spans`]: crate::AvfAnalysis::from_spans
+///
+/// # Panics
+///
+/// Panics if the run produced zero cycles.
+pub fn analyze_exhaustive(result: &PipelineResult, dead: &DeadMap) -> AvfAnalysis {
+    assert!(result.cycles > 0, "cannot analyse an empty run");
+    const TIMELINE_BUCKETS: u64 = 64;
+    let bucket = (result.cycles / TIMELINE_BUCKETS).max(1);
+    let mut timeline: Vec<TimelinePoint> = (0..result.cycles.div_ceil(bucket))
+        .map(|i| TimelinePoint {
+            start_cycle: i * bucket,
+            ..Default::default()
+        })
+        .collect();
+    let mut bits = ResidencyBits::default();
+    for res in &result.residencies {
+        let b = classify_exhaustive(res, dead);
+        bits.ace += b.ace;
+        bits.unread += b.unread;
+        for i in 0..bits.unace.len() {
+            bits.unace[i] += b.unace[i];
+        }
+        for i in 0..bits.ace_by_kind.len() {
+            bits.ace_by_kind[i] += b.ace_by_kind[i];
+        }
+        let idx = ((res.alloc.as_u64() / bucket) as usize).min(timeline.len() - 1);
+        timeline[idx].valid += b.valid_total();
+        timeline[idx].ace += b.ace;
+    }
+    AvfAnalysis::from_parts(result.cycles, result.iq_capacity as u64, bits, timeline)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ace::classify;
+    use ses_arch::Emulator;
+    use ses_pipeline::{Pipeline, PipelineConfig};
+    use ses_workloads::{synthesize, WorkloadSpec};
+
+    #[test]
+    fn exhaustive_matches_span_classifier_on_a_real_run() {
+        let spec = WorkloadSpec::quick("exhaustive-test", 7);
+        let program = synthesize(&spec);
+        let trace = Emulator::new(&program).run(100_000).unwrap();
+        let dead = DeadMap::analyze(&trace);
+        let result = Pipeline::new(PipelineConfig::default()).run(&program, &trace);
+        for res in &result.residencies {
+            assert_eq!(
+                classify(res, &dead),
+                classify_exhaustive(res, &dead),
+                "span and per-bit-cycle accounting diverge on residency {:?}",
+                res.seq
+            );
+        }
+        let span = AvfAnalysis::new(&result, &dead);
+        let exhaustive = analyze_exhaustive(&result, &dead);
+        assert_eq!(span.decomposition(), exhaustive.decomposition());
+        assert_eq!(span.timeline(), exhaustive.timeline());
+    }
+}

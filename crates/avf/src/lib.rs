@@ -38,12 +38,17 @@
 mod ace;
 mod avf;
 mod dead;
+pub mod exhaustive;
 mod regfile;
+pub mod span;
 
 pub use ace::{classify, FalseDueCause, ResidencyBits};
 pub use avf::{
-    lifetime_spans, occupancy_intervals, AvfAnalysis, BitCycleDecomposition, KindAvf,
-    StateFractions, Technique, TimelinePoint,
+    AvfAnalysis, BitCycleDecomposition, KindAvf, StateFractions, Technique, TimelinePoint,
 };
 pub use dead::{DeadInfo, DeadKind, DeadMap};
 pub use regfile::RegFileAvf;
+pub use span::{
+    lifetime_spans, occupancy_intervals, LifetimeSpan, ResidencySpans, Segment, SpanClass,
+    SpanSet,
+};

@@ -1,0 +1,156 @@
+//! Measures the analytic-AVF throughput of the interval-algebra span
+//! engine against the exhaustive per-bit-cycle reference engine over the
+//! full 26-workload suite.
+//!
+//! Both engines consume the *same* prepared runs (synthesis, functional
+//! trace, dead map, and timing result are built once, outside the timed
+//! region) and must produce bit-for-bit identical analyses — the only
+//! difference is the accounting: `width × span_length` sums over at most
+//! two segments per residency, versus visiting every (bit × cycle)
+//! individually. Timing pairs are interleaved (span and exhaustive run
+//! back-to-back within each rep) and the reported speedup is the median
+//! of per-rep ratios, the same pattern as `campaign_speed` — single-shot
+//! wall ratios flap under shared-machine load.
+//!
+//! Results land in `BENCH_avf.json` at the repository root, and the
+//! ≥10x gate is asserted here. Reps default to 3; set `AVF_SPEED_REPS`
+//! to override (CI smoke uses 1).
+//!
+//! Run with `cargo bench -p ses-bench --bench avf_speed`.
+
+use std::time::Instant;
+
+use ses_avf::exhaustive::analyze_exhaustive;
+use ses_avf::{AvfAnalysis, DeadMap, SpanSet};
+use ses_core::{suite, synthesize};
+use ses_pipeline::{Pipeline, PipelineConfig, PipelineResult};
+
+/// One prepared workload: everything both engines need, built untimed.
+struct Prepared {
+    name: String,
+    dead: DeadMap,
+    result: PipelineResult,
+}
+
+fn prepare_suite() -> Vec<Prepared> {
+    let pipeline = Pipeline::new(PipelineConfig::default());
+    suite()
+        .iter()
+        .map(|spec| {
+            let program = synthesize(spec);
+            let trace = ses_arch::Emulator::new(&program)
+                .run(spec.target_dynamic * 4)
+                .expect("golden trace");
+            assert!(trace.halted(), "{} must halt", spec.name);
+            let dead = DeadMap::analyze(&trace);
+            let result = pipeline.run(&program, &trace);
+            Prepared {
+                name: spec.name.clone(),
+                dead,
+                result,
+            }
+        })
+        .collect()
+}
+
+fn main() {
+    let reps: usize = std::env::var("AVF_SPEED_REPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3);
+    assert!(reps >= 1, "AVF_SPEED_REPS must be at least 1");
+
+    println!("\n=== Analytic-AVF speed: span arithmetic vs per-bit-cycle ===");
+    println!("(26-workload suite, {reps} interleaved rep pairs)\n");
+
+    let t = Instant::now();
+    let prepared = prepare_suite();
+    let prepare_wall = t.elapsed().as_secs_f64();
+    let workloads = prepared.len();
+    let total_bit_cycles: u64 = prepared
+        .iter()
+        .map(|p| p.result.cycles * p.result.iq_capacity as u64 * 64)
+        .sum();
+    let residencies: usize = prepared.iter().map(|p| p.result.residencies.len()).sum();
+    println!(
+        "prepared {workloads} workloads in {prepare_wall:.2}s \
+         ({residencies} residencies, {total_bit_cycles} bit-cycles)"
+    );
+
+    // Identity guard before any timing: the two engines must agree
+    // exactly on every workload, or the speed comparison is meaningless.
+    for p in &prepared {
+        let span = AvfAnalysis::new(&p.result, &p.dead);
+        let exhaustive = analyze_exhaustive(&p.result, &p.dead);
+        assert_eq!(
+            span.decomposition(),
+            exhaustive.decomposition(),
+            "{}: span and exhaustive decompositions diverge",
+            p.name
+        );
+        assert_eq!(
+            span.timeline(),
+            exhaustive.timeline(),
+            "{}: span and exhaustive timelines diverge",
+            p.name
+        );
+    }
+    println!("identity guard: span == exhaustive on all {workloads} workloads");
+
+    let mut ratios = Vec::with_capacity(reps);
+    let mut span_wall = f64::INFINITY;
+    let mut exhaustive_wall = f64::INFINITY;
+    for rep in 0..reps {
+        let t = Instant::now();
+        for p in &prepared {
+            std::hint::black_box(AvfAnalysis::from_spans(&SpanSet::derive(
+                &p.result, &p.dead,
+            )));
+        }
+        let sw = t.elapsed().as_secs_f64();
+        let t = Instant::now();
+        for p in &prepared {
+            std::hint::black_box(analyze_exhaustive(&p.result, &p.dead));
+        }
+        let ew = t.elapsed().as_secs_f64();
+        ratios.push(ew / sw.max(1e-9));
+        span_wall = span_wall.min(sw);
+        exhaustive_wall = exhaustive_wall.min(ew);
+        println!(
+            "rep {}: span {sw:>8.4}s  exhaustive {ew:>8.3}s  ratio {:>7.1}x",
+            rep + 1,
+            ew / sw.max(1e-9)
+        );
+    }
+    ratios.sort_by(|a, b| a.total_cmp(b));
+    let speedup = ratios[ratios.len() / 2];
+
+    println!(
+        "\nspan engine:        {span_wall:.4}s for the suite \
+         ({:.0} bit-cycles/s equivalent, min of {reps})",
+        total_bit_cycles as f64 / span_wall.max(1e-12)
+    );
+    println!(
+        "exhaustive engine:  {exhaustive_wall:.3}s for the suite \
+         ({:.0} bit-cycles/s, min of {reps})",
+        total_bit_cycles as f64 / exhaustive_wall.max(1e-12)
+    );
+    println!("analytic-AVF speedup: {speedup:.1}x (median of {reps} interleaved pairs)");
+
+    let json = format!(
+        "{{\n  \"workloads\": {workloads},\n  \"reps\": {reps},\n  \
+         \"residencies\": {residencies},\n  \"total_bit_cycles\": {total_bit_cycles},\n  \
+         \"prepare_wall_s\": {prepare_wall:.6},\n  \"span_wall_s\": {span_wall:.6},\n  \
+         \"exhaustive_wall_s\": {exhaustive_wall:.6},\n  \"speedup\": {speedup:.3}\n}}\n"
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_avf.json");
+    std::fs::write(path, &json).expect("write BENCH_avf.json");
+    println!("\nwrote {path}");
+
+    assert!(
+        speedup >= 10.0,
+        "span engine must be at least 10x faster than per-bit-cycle accounting \
+         ({speedup:.1}x measured)"
+    );
+    println!("Speedup target (>= 10x) holds.");
+}

@@ -1,7 +1,7 @@
 //! Single-workload runs and their summaries.
 
 use ses_arch::{Emulator, ExecutionTrace};
-use ses_avf::{AvfAnalysis, DeadMap, StateFractions, Technique};
+use ses_avf::{AvfAnalysis, DeadMap, SpanSet, StateFractions, Technique};
 use ses_isa::Program;
 use ses_pipeline::{Pipeline, PipelineConfig, PipelineResult};
 use ses_types::{Avf, Ipc, SesError};
@@ -88,7 +88,12 @@ pub struct WorkloadRun {
     pub dead: DeadMap,
     /// The timing result (includes the residency log).
     pub result: PipelineResult,
-    /// The ACE/AVF analysis.
+    /// The canonical interval representation of the residency log — the
+    /// one span derivation `avf` was aggregated from, kept so downstream
+    /// consumers (samplers, oracles) never re-derive lifetimes.
+    pub spans: SpanSet,
+    /// The ACE/AVF analysis (aggregated from `spans` by span
+    /// arithmetic).
     pub avf: AvfAnalysis,
 }
 
@@ -147,13 +152,15 @@ pub fn run_workload(
     }
     let dead = DeadMap::analyze(&trace);
     let result = Pipeline::new(pipeline.clone()).run(&program, &trace);
-    let avf = AvfAnalysis::new(&result, &dead);
+    let spans = SpanSet::derive(&result, &dead);
+    let avf = AvfAnalysis::from_spans(&spans);
     Ok(WorkloadRun {
         spec: spec.clone(),
         program,
         trace,
         dead,
         result,
+        spans,
         avf,
     })
 }

@@ -15,7 +15,7 @@
 use ses_metrics::{RateInterval, ReliabilityModel};
 use ses_pipeline::FaultSpec;
 use ses_sampler::{
-    AdaptiveCheckpoint, AdaptiveConfig, AdaptiveScheduler, LifetimeCell, OccupancyProfile, Phase,
+    lifetime_cells, AdaptiveCheckpoint, AdaptiveConfig, AdaptiveScheduler, OccupancyProfile,
     RoundRecord, Strata, StratifiedEstimate, StratumState, Trial,
 };
 use ses_types::{Cycle, Ipc};
@@ -92,35 +92,12 @@ pub fn build_strata(campaign: &Campaign) -> Strata {
     let profile = OccupancyProfile::from_intervals(
         cycles,
         iq,
-        spans.iter().map(|&(_, a, _, d)| (a, d)),
+        spans.iter().map(|s| s.occupancy()),
         OCC_WINDOWS,
     );
-    // The timing model retires before it injects within a cycle, so a
-    // same-cycle strike sees the allocation but not the deallocation:
-    // `[alloc, dealloc)` is exactly the strikeable span. A strike on the
-    // last-read cycle lands after the read, so the live phase is
-    // `[alloc, last_read)` and the tail `[last_read, dealloc)`;
-    // never-read residencies are all tail.
-    let mut cells = Vec::with_capacity(spans.len() * 2);
-    for &(slot, alloc, last_read, dealloc) in spans {
-        let boundary = last_read.unwrap_or(alloc).clamp(alloc, dealloc);
-        if alloc < boundary {
-            cells.push(LifetimeCell {
-                slot,
-                start: alloc,
-                end: boundary,
-                phase: Phase::Live,
-            });
-        }
-        if boundary < dealloc {
-            cells.push(LifetimeCell {
-                slot,
-                start: boundary,
-                end: dealloc,
-                phase: Phase::Tail,
-            });
-        }
-    }
+    // The live/tail split comes from the spans themselves (ses-avf's
+    // canonical boundary), via the sampler's shared cell derivation.
+    let cells = lifetime_cells(spans);
     Strata::build_cells(cycles, iq, &profile, &cells)
 }
 
@@ -363,7 +340,7 @@ mod tests {
         let occupied: u64 = c
             .lifetime_spans()
             .iter()
-            .map(|&(_, a, _, d)| d - a)
+            .map(|s| s.valid_cycles())
             .sum();
         assert_eq!(strata.sampled_size(), occupied * 64);
     }

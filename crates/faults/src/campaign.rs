@@ -157,10 +157,10 @@ pub struct Campaign {
     /// identical).
     golden_words: Vec<u64>,
     baseline_cycles: u64,
-    /// Per-slot `(slot, alloc, last_read, dealloc)` lifetime spans of
-    /// the golden timing run, kept for the adaptive sampler's lifetime
-    /// and occupancy stratification.
-    lifetime_spans: Vec<(usize, u64, Option<u64>, u64)>,
+    /// Per-slot lifetime spans of the golden timing run (`ses-avf`'s
+    /// canonical interval representation), kept for the adaptive
+    /// sampler's lifetime and occupancy stratification.
+    lifetime_spans: Vec<ses_avf::LifetimeSpan>,
     pipeline: Pipeline,
     snapshots: Vec<Snapshot>,
     checkpoint_interval: u64,
@@ -402,13 +402,13 @@ impl Campaign {
     /// half-open cycle ranges), the lifetime data occupancy
     /// stratification buckets cycle windows by.
     pub fn residency_intervals(&self) -> Vec<(u64, u64)> {
-        self.lifetime_spans.iter().map(|&(_, a, _, d)| (a, d)).collect()
+        self.lifetime_spans.iter().map(|s| s.occupancy()).collect()
     }
 
-    /// The golden run's per-slot `(slot, alloc, last_read, dealloc)`
-    /// lifetime spans — the data the adaptive sampler splits into live
-    /// and Ex-ACE-tail strata and uses to mask idle coordinates.
-    pub fn lifetime_spans(&self) -> &[(usize, u64, Option<u64>, u64)] {
+    /// The golden run's per-slot lifetime spans — the data the adaptive
+    /// sampler splits into live and Ex-ACE-tail strata and uses to mask
+    /// idle coordinates.
+    pub fn lifetime_spans(&self) -> &[ses_avf::LifetimeSpan] {
         &self.lifetime_spans
     }
 

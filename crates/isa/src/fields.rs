@@ -94,14 +94,14 @@ const fn build_map() -> [BitKind; BIT_COUNT] {
     map
 }
 
-static BIT_MAP: [BitKind; BIT_COUNT] = build_map();
+const BIT_MAP: [BitKind; BIT_COUNT] = build_map();
 
 /// The kind of bit `bit` (0 = LSB) of the instruction word.
 ///
 /// # Panics
 ///
 /// Panics if `bit >= 64`.
-pub fn bit_kind(bit: usize) -> BitKind {
+pub const fn bit_kind(bit: usize) -> BitKind {
     BIT_MAP[bit]
 }
 
@@ -111,8 +111,20 @@ pub fn bits_of_kind(kind: BitKind) -> impl Iterator<Item = usize> {
 }
 
 /// A mask with ones at every bit position of the given kind.
-pub fn field_mask(kind: BitKind) -> u64 {
-    bits_of_kind(kind).fold(0u64, |m, b| m | (1u64 << b))
+///
+/// `const`, so width and mask computations downstream (the span engine's
+/// ACE masks, the classifier's specifier widths) fold at compile time
+/// instead of rescanning the 64-entry bit map per call.
+pub const fn field_mask(kind: BitKind) -> u64 {
+    let mut m = 0u64;
+    let mut b = 0;
+    while b < BIT_COUNT {
+        if BIT_MAP[b] as u8 == kind as u8 {
+            m |= 1u64 << b;
+        }
+        b += 1;
+    }
+    m
 }
 
 #[cfg(test)]

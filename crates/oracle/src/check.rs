@@ -3,7 +3,7 @@
 use std::fmt;
 
 use ses_arch::Emulator;
-use ses_avf::{AvfAnalysis, DeadMap};
+use ses_avf::{AvfAnalysis, DeadMap, SpanSet};
 use ses_faults::{Campaign, CampaignConfig};
 use ses_isa::{Instruction, Program};
 use ses_pipeline::{DetectionModel, Pipeline, PipelineConfig};
@@ -33,6 +33,9 @@ pub enum DivergenceKind {
     PredicationMismatch,
     /// A committed trace record contradicts the ISA metadata.
     TraceRecord,
+    /// A residency's span segments violate the interval invariants
+    /// (out of order, overlapping, or not tiling the valid window).
+    SpanGeometry,
     /// Bit-cycle accounting failed exact conservation.
     BitCycleConservation,
     /// DUE AVF is not SDC AVF + false-DUE AVF.
@@ -55,6 +58,7 @@ impl fmt::Display for DivergenceKind {
             DivergenceKind::InstrMismatch => "instr-mismatch",
             DivergenceKind::PredicationMismatch => "predication-mismatch",
             DivergenceKind::TraceRecord => "trace-record",
+            DivergenceKind::SpanGeometry => "span-geometry",
             DivergenceKind::BitCycleConservation => "bit-cycle-conservation",
             DivergenceKind::DueDecomposition => "due-decomposition",
             DivergenceKind::StateFractions => "state-fractions",
@@ -276,9 +280,15 @@ pub fn check_program_mutated(
             .map_err(|e| Divergence::new(DivergenceKind::TraceRecord, Some(i), e))?;
     }
 
-    // 5. AVF-layer invariants.
+    // 5. AVF-layer invariants. The span set is derived once, its interval
+    // geometry validated, and the analysis aggregated from it — the same
+    // path the suite runner takes.
     let dead = DeadMap::analyze(&trace);
-    let avf = AvfAnalysis::new(&result, &dead);
+    let spans = SpanSet::derive(&result, &dead);
+    if let Err(e) = spans.check() {
+        return Err(Divergence::new(DivergenceKind::SpanGeometry, None, e));
+    }
+    let avf = AvfAnalysis::from_spans(&spans);
     if !avf.decomposition().is_conserved() {
         let d = avf.decomposition();
         return Err(Divergence::new(

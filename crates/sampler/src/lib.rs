@@ -30,9 +30,14 @@ pub use adaptive::{
     StratumCheckpoint, StratumEstimate, StratumState, Trial,
 };
 pub use stratify::{
-    BitClass, FaultCoord, LifetimeCell, OccupancyProfile, Phase, Strata, Stratum, StratumKey,
-    OCC_BUCKETS,
+    lifetime_cells, BitClass, FaultCoord, LifetimeCell, OccupancyProfile, Phase, Strata,
+    Stratum, StratumKey, OCC_BUCKETS,
 };
+
+// The span geometry the cells derive from is ses-avf's canonical
+// interval representation; re-exported so campaign code can name it
+// without depending on ses-avf directly.
+pub use ses_avf::{lifetime_spans, occupancy_intervals, LifetimeSpan};
 
 /// SplitMix64: the canonical 64-bit seed mixer. One application per
 /// (stratum × round) derives independent, thread-count-invariant sample

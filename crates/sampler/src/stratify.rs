@@ -28,6 +28,7 @@
 //! the space size, so post-stratified weights are known constants rather
 //! than estimates.
 
+use ses_avf::LifetimeSpan;
 use ses_isa::{bit_kind, bits_of_kind, BitKind};
 
 /// One coordinate of the injection space.
@@ -137,6 +138,36 @@ pub struct LifetimeCell {
     pub end: u64,
     /// Lifetime phase of the span.
     pub phase: Phase,
+}
+
+/// Splits each residency lifetime into its live and Ex-ACE-tail cells —
+/// the input [`Strata::build_cells`] stratifies by.
+///
+/// The live/tail boundary comes from [`LifetimeSpan`] itself (`ses-avf`'s
+/// canonical span derivation), so the sampler's phase split and the
+/// analytic ACE classification can never disagree about where a
+/// residency's exposure ends.
+pub fn lifetime_cells(spans: &[LifetimeSpan]) -> Vec<LifetimeCell> {
+    let mut cells = Vec::with_capacity(spans.len() * 2);
+    for s in spans {
+        if let Some((start, end)) = s.live_range() {
+            cells.push(LifetimeCell {
+                slot: s.slot,
+                start,
+                end,
+                phase: Phase::Live,
+            });
+        }
+        if let Some((start, end)) = s.tail_range() {
+            cells.push(LifetimeCell {
+                slot: s.slot,
+                start,
+                end,
+                phase: Phase::Tail,
+            });
+        }
+    }
+    cells
 }
 
 /// Number of occupancy buckets (quartiles of queue fullness).

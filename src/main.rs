@@ -18,7 +18,7 @@ use std::process::ExitCode;
 
 use ses_core::telemetry as artifact;
 use ses_core::{
-    compare_suites, mean, run_fuzz, run_suite, run_suite_with, run_workload, spec_by_name,
+    compare_suites, mean, run_fuzz, run_suite_with, run_workload, spec_by_name,
     splitmix64, suite, AdaptiveCampaignConfig, AdaptiveConfig, AdaptiveSession, Campaign,
     CampaignConfig, DetectionModel, FalseDueCause, FuzzConfig, JsonValue, Level, MetricKind,
     Outcome, Pipeline, PipelineConfig, ReliabilityModel, Table, Technique, TelemetryLevel,
@@ -139,20 +139,41 @@ fn cmd_list(tel: &Telemetry) -> Result<(), String> {
 }
 
 fn cmd_suite(args: &[String], tel: &Telemetry) -> Result<(), String> {
-    let cfg = parse_machine(args)?;
+    // `--threads N` pins the worker count (0 = one per core); artifacts
+    // are byte-identical for any value because the sweep preserves suite
+    // order.
+    let mut threads = 0usize;
+    let mut rest = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--threads" {
+            threads = it
+                .next()
+                .ok_or("--threads needs a count")?
+                .parse()
+                .map_err(|e| format!("bad thread count: {e}"))?;
+        } else {
+            rest.push(a.clone());
+        }
+    }
+    let cfg = parse_machine(&rest)?;
     // Full-level artifacts carry the per-workload AVF decomposition,
     // which needs the complete WorkloadRun, so project it inside the
     // parallel sweep instead of re-running everything afterwards.
     let (rows, details): (Vec<_>, Vec<_>) =
         if tel.active() && tel.level == TelemetryLevel::Full {
-            run_suite_with(&cfg, 0, |_, run| {
+            run_suite_with(&cfg, threads, |_, run| {
                 (run.summary(), artifact::workload_detail(&run))
             })
             .map_err(|e| e.to_string())?
             .into_iter()
             .unzip()
         } else {
-            (run_suite(&cfg).map_err(|e| e.to_string())?, Vec::new())
+            (
+                run_suite_with(&cfg, threads, |_, run| run.summary())
+                    .map_err(|e| e.to_string())?,
+                Vec::new(),
+            )
         };
     let mut t = Table::new(vec![
         "bench", "class", "IPC", "SDC AVF", "DUE AVF", "false DUE", "squashes",
@@ -769,6 +790,7 @@ fn usage() -> &'static str {
      commands:\n\
        list                        list the benchmark suite\n\
        suite [flags]               run all 26 benchmarks, print AVF summary\n\
+\x20                                 (--threads N pins the worker count)\n\
        bench <name> [flags]        detailed report for one benchmark\n\
        inject <name> [options]     fault-injection campaign\n\
        campaign <name> [options]   confidence-targeted campaign (adaptive or uniform)\n\

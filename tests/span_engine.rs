@@ -1,0 +1,125 @@
+//! Property suite: the interval-algebra span engine must be extensionally
+//! identical to the exhaustive per-bit-cycle reference engine.
+//!
+//! The span engine computes every aggregate as `width × span_length` sums
+//! over at most two segments per residency; the exhaustive engine visits
+//! every valid (bit × cycle) individually. The two share only the
+//! reporting layer, so agreement here pins the whole interval algebra —
+//! decomposition, state fractions, per-kind AVFs, technique coverage,
+//! residual false DUE, and the exposure timeline — against the paper's
+//! literal definitions, on ≥64 fuzz-generated workloads per run plus
+//! squash-config variants that exercise span truncation.
+
+use ses_arch::Emulator;
+use ses_avf::exhaustive::analyze_exhaustive;
+use ses_avf::{AvfAnalysis, DeadMap, SpanSet, Technique};
+use ses_core::{Level, Pipeline, PipelineConfig};
+use ses_workloads::fuzz_program;
+
+const FUZZED_WORKLOADS: usize = 64;
+
+/// Runs one fuzzed program under `cfg` and asserts every observable of
+/// the span engine equals the exhaustive engine's.
+fn assert_engines_agree(seed: u64, cfg: &PipelineConfig) {
+    let program = fuzz_program(seed);
+    let trace = Emulator::new(&program)
+        .run(4_000_000)
+        .unwrap_or_else(|e| panic!("seed {seed:#x}: emulation failed: {e}"));
+    assert!(trace.halted(), "seed {seed:#x}: fuzz programs always halt");
+    let dead = DeadMap::analyze(&trace);
+    let result = Pipeline::new(cfg.clone()).run(&program, &trace);
+
+    let spans = SpanSet::derive(&result, &dead);
+    spans
+        .check()
+        .unwrap_or_else(|e| panic!("seed {seed:#x}: span geometry: {e}"));
+
+    let span = AvfAnalysis::from_spans(&spans);
+    let exhaustive = analyze_exhaustive(&result, &dead);
+
+    // Exact integer decomposition (covers ace, per-kind ace, per-cause
+    // un-ace, unread, idle, total).
+    assert_eq!(
+        span.decomposition(),
+        exhaustive.decomposition(),
+        "seed {seed:#x}: decompositions diverge"
+    );
+    assert!(span.decomposition().is_conserved(), "seed {seed:#x}");
+
+    // Derived floats must match exactly: same integers, same arithmetic.
+    assert_eq!(span.state_fractions(), exhaustive.state_fractions());
+    assert_eq!(span.sdc_avf(), exhaustive.sdc_avf());
+    assert_eq!(span.due_avf(), exhaustive.due_avf());
+    assert_eq!(span.false_due_avf(), exhaustive.false_due_avf());
+
+    // Per-kind AVFs.
+    let sk = span.avf_by_bit_kind();
+    let ek = exhaustive.avf_by_bit_kind();
+    assert_eq!(sk.len(), ek.len());
+    for (s, e) in sk.iter().zip(&ek) {
+        assert_eq!(s.kind, e.kind);
+        assert_eq!(s.width, e.width);
+        assert_eq!(s.avf, e.avf, "seed {seed:#x}: kind {:?}", s.kind);
+    }
+
+    // Technique coverage and cumulative residuals.
+    for technique in [
+        Technique::PiAtCommit,
+        Technique::AntiPi,
+        Technique::Pet(32),
+        Technique::Pet(512),
+        Technique::PiRegister,
+        Technique::PiStoreCommit,
+        Technique::PiMemory,
+    ] {
+        assert_eq!(
+            span.covered_by(technique, &dead),
+            exhaustive.covered_by(technique, &dead),
+            "seed {seed:#x}: coverage diverges for {technique:?}"
+        );
+    }
+    for dead_technique in [None, Some(Technique::Pet(512)), Some(Technique::PiMemory)] {
+        assert_eq!(
+            span.residual_false_due(dead_technique, &dead),
+            exhaustive.residual_false_due(dead_technique, &dead),
+            "seed {seed:#x}: residual diverges for {dead_technique:?}"
+        );
+        assert_eq!(
+            span.due_avf_with_tracking(dead_technique, &dead),
+            exhaustive.due_avf_with_tracking(dead_technique, &dead)
+        );
+    }
+
+    // The exposure timeline (alloc-bucket attribution).
+    assert_eq!(
+        span.timeline(),
+        exhaustive.timeline(),
+        "seed {seed:#x}: timelines diverge"
+    );
+}
+
+#[test]
+fn span_engine_equals_exhaustive_on_fuzzed_workloads() {
+    let cfg = PipelineConfig::default();
+    for i in 0..FUZZED_WORKLOADS as u64 {
+        assert_engines_agree(0xA5F0_0000 + i, &cfg);
+    }
+}
+
+#[test]
+fn span_engine_equals_exhaustive_under_squash_configs() {
+    // Squash truncates spans (the residency's dealloc becomes the squash
+    // cycle and the exposed segment reclassifies): the geometry the
+    // default config never produces.
+    for (j, cfg) in [
+        PipelineConfig::default().with_squash(Level::L1),
+        PipelineConfig::default().with_squash(Level::L0),
+    ]
+    .iter()
+    .enumerate()
+    {
+        for i in 0..8u64 {
+            assert_engines_agree(0x5B5B_0000 + (j as u64) * 1000 + i, cfg);
+        }
+    }
+}
