@@ -165,6 +165,7 @@ fn trials_to_target_ci() -> (AdaptiveCampaignReport, UniformRun, f64, f64) {
             ..AdaptiveConfig::default()
         },
         metric: MetricKind::DueAvf,
+        pattern: None,
     };
     let t = Instant::now();
     let report = AdaptiveSession::new(&campaign, cfg).run();

@@ -43,16 +43,19 @@ pub use ses_avf::{
     Technique, TimelinePoint,
 };
 pub use ses_faults::{
-    build_strata, AdaptiveCampaignConfig, AdaptiveCampaignReport, AdaptiveSession, Campaign,
-    CampaignConfig, CampaignPerf, CampaignReport, DetailedReport, MetricKind, Outcome,
-    StratumReport, UniformRun,
+    build_strata, build_strata_with, class_instances, mask_for_class, read_probability,
+    run_ecc_campaign, AdaptiveCampaignConfig, AdaptiveCampaignReport, AdaptiveSession, Campaign,
+    CampaignConfig, CampaignPerf, CampaignReport, DetailedReport, EccCampaignConfig,
+    EccCampaignReport, MetricKind, Outcome, PatternDistribution, PatternModel, ResidualModel,
+    StratumReport, StrikePattern, UniformRun,
 };
 pub use ses_sampler::{
     AdaptiveCheckpoint, AdaptiveConfig, AdaptiveScheduler, BitClass, FaultCoord,
-    OccupancyProfile, RoundRecord, Strata, StratifiedEstimate, StratumKey,
+    OccupancyProfile, PatternClass, RoundRecord, Strata, StratifiedEstimate, StratumKey,
 };
-pub use ses_mem::Level;
+pub use ses_mem::{ClassProfile, EccClass, EccDomain, EccScheme, Level, WordVerdict};
 pub use ses_metrics::{geomean, mean, RateInterval, RatePoint, ReliabilityModel, Table};
+pub use ses_metrics::{fit_to_mttf, raw_fit_per_bit, Environment, TechNode};
 pub use ses_metrics::{JsonValue, TelemetryLevel, SCHEMA_VERSION};
 pub use ses_metrics::binomial_ci95;
 pub use ses_oracle::{

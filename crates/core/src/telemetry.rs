@@ -328,6 +328,11 @@ pub fn adaptive_campaign_artifact(
         .set("exhaust_threshold", cfg.adaptive.exhaust_threshold)
         .set("seed", cfg.adaptive.seed);
     doc.set("config", c);
+    // The spatial-strike stanza appears only in multi-bit campaigns, so
+    // existing single-bit artifacts stay byte-identical.
+    if let Some(p) = &cfg.pattern {
+        doc.set("pattern_model", pattern_model_value(p));
+    }
     doc.set("total_trials", report.total_trials)
         .set("rounds", report.rounds)
         .set("uniform_equivalent_trials", report.uniform_equivalent_trials())
@@ -394,6 +399,193 @@ pub fn adaptive_campaign_artifact(
         })
         .collect();
     doc.set("ci_trajectory", trajectory);
+    doc
+}
+
+/// The spatial-strike model stanza shared by the adaptive and ECC
+/// campaign artifacts.
+fn pattern_model_value(p: &ses_faults::PatternModel) -> JsonValue {
+    let mut v = JsonValue::object();
+    v.set("ecc_scheme", p.domain.scheme.label())
+        .set("interleave", p.domain.interleave)
+        .set("check_bits", p.domain.check_bits());
+    v.set("distribution", distribution_value(&p.distribution));
+    v
+}
+
+fn distribution_value(d: &ses_faults::PatternDistribution) -> JsonValue {
+    let mut v = JsonValue::object();
+    v.set("single_permille", d.single)
+        .set("double_adjacent_permille", d.double_adjacent)
+        .set("triple_adjacent_permille", d.triple_adjacent)
+        .set("random_double_permille", d.random_double);
+    v
+}
+
+fn rate_interval_value(rates: &ses_metrics::RateInterval) -> JsonValue {
+    let mut r = JsonValue::object();
+    r.set("avf_lo", rates.avf_lo)
+        .set("avf", rates.avf)
+        .set("avf_hi", rates.avf_hi);
+    if let Some(p) = &rates.point {
+        r.set("point", rate_point_value(p));
+    }
+    if let Some(p) = &rates.pessimistic {
+        r.set("pessimistic", rate_point_value(p));
+    }
+    if let Some(p) = &rates.optimistic {
+        r.set("optimistic", rate_point_value(p));
+    }
+    r
+}
+
+/// The ECC-domain campaign artifact: the sampled strike dispositions and
+/// outcome counts, the analytic residual model they are validated
+/// against, and the DUE/SDC FIT intervals under the given reliability
+/// model. Deterministic in workload, configuration and seed.
+pub fn ecc_campaign_artifact(
+    workload: &str,
+    cfg: &ses_faults::EccCampaignConfig,
+    report: &ses_faults::EccCampaignReport,
+    ipc: f64,
+    model: &ses_metrics::ReliabilityModel,
+    level: TelemetryLevel,
+) -> JsonValue {
+    let mut doc = header("ecc_campaign", level);
+    doc.set("workload", workload)
+        .set("ipc", ipc)
+        .set("injections", cfg.injections)
+        .set("seed", cfg.seed);
+    doc.set(
+        "pattern_model",
+        pattern_model_value(&ses_faults::PatternModel {
+            distribution: cfg.distribution,
+            domain: cfg.domain,
+        }),
+    );
+    let mut e = JsonValue::object();
+    e.set("corrected", report.corrected)
+        .set("detected", report.detected)
+        .set("silent", report.silent);
+    doc.set("ecc_dispositions", e);
+    let mut pc = JsonValue::object();
+    for (class, n) in ses_sampler::PatternClass::ALL.iter().zip(report.per_class) {
+        pc.set(class.label(), n);
+    }
+    doc.set("strikes_per_class", pc);
+    let summary = &report.outcomes;
+    let mut outcomes = JsonValue::object();
+    for o in Outcome::ALL {
+        outcomes.set(o.label(), summary.count(o));
+    }
+    doc.set("outcomes", outcomes);
+    doc.set("due_rate", report.due_rate())
+        .set("sdc_rate", report.sdc_rate())
+        .set("due_rate_ci95", report.ci95(report.due_rate()))
+        .set("sdc_rate_ci95", report.ci95(report.sdc_rate()));
+    let mut analytic = JsonValue::object();
+    analytic
+        .set("corrected", report.analytic.corrected)
+        .set("detected", report.analytic.detected)
+        .set("silent", report.analytic.silent);
+    doc.set("analytic_residual", analytic);
+    let ipc_t = ses_types::Ipc::new(ipc);
+    doc.set(
+        "due_rates",
+        rate_interval_value(&model.rate_interval(
+            ipc_t,
+            report.due_rate(),
+            report.ci95(report.due_rate()),
+        )),
+    );
+    doc.set(
+        "sdc_rates",
+        rate_interval_value(&model.rate_interval(
+            ipc_t,
+            report.sdc_rate(),
+            report.ci95(report.sdc_rate()),
+        )),
+    );
+    doc
+}
+
+/// The analytic ECC grid artifact pinned by `tests/golden/campaign_ecc.json`:
+/// for each workload (with its measured read probability) × technology
+/// node × environment × scheme, the residual DUE/SDC AVFs and the
+/// FIT/MTTF they imply. Every rate crosses FIT → MTTF through the shared
+/// [`ses_metrics::fit_to_mttf`], and every residual fraction is exact
+/// (full class enumeration), so the artifact is a pure function of its
+/// inputs.
+///
+/// `workloads` rows are `(name, ipc, read_probability, probe_injections)`.
+pub fn ecc_grid_artifact(
+    distribution: &ses_faults::PatternDistribution,
+    workloads: &[(String, f64, f64, u32)],
+    level: TelemetryLevel,
+) -> JsonValue {
+    use ses_mem::{EccDomain, EccScheme};
+    use ses_metrics::{fit_to_mttf, Environment, ReliabilityModel, TechNode};
+
+    let mut doc = header("ecc_grid", level);
+    doc.set("distribution", distribution_value(distribution));
+    let rows: Vec<JsonValue> = workloads
+        .iter()
+        .map(|(name, ipc, p_read, probes)| {
+            let mut w = JsonValue::object();
+            w.set("workload", name.as_str())
+                .set("ipc", *ipc)
+                .set("read_probability", *p_read)
+                .set("probe_injections", *probes);
+            let nodes: Vec<JsonValue> = TechNode::ALL
+                .iter()
+                .flat_map(|&node| {
+                    Environment::ALL.iter().map(move |&env| (node, env))
+                })
+                .map(|(node, env)| {
+                    let model = ReliabilityModel::for_scenario(node, env);
+                    let raw = model.raw_rate();
+                    let mut cell = JsonValue::object();
+                    cell.set("node", node.label())
+                        .set("environment", env.label())
+                        .set("raw_fit", raw.value());
+                    let schemes: Vec<JsonValue> = EccScheme::ALL
+                        .iter()
+                        .map(|&scheme| {
+                            let domain = EccDomain::new(scheme);
+                            let res = ses_faults::ResidualModel::analytic(
+                                distribution,
+                                &domain,
+                            );
+                            let due_avf = p_read * res.detected;
+                            let sdc_avf = p_read * res.silent;
+                            let fit_due = raw.value() * due_avf;
+                            let fit_sdc = raw.value() * sdc_avf;
+                            let mttf_years = |fit: f64| {
+                                fit_to_mttf(ses_types::Fit::new(fit))
+                                    .map(|m| m.years())
+                                    .unwrap_or(-1.0)
+                            };
+                            let mut s = JsonValue::object();
+                            s.set("scheme", scheme.label())
+                                .set("check_bits", domain.check_bits())
+                                .set("due_avf", due_avf)
+                                .set("sdc_avf", sdc_avf)
+                                .set("fit_due", fit_due)
+                                .set("fit_sdc", fit_sdc)
+                                .set("mttf_due_years", mttf_years(fit_due))
+                                .set("mttf_sdc_years", mttf_years(fit_sdc));
+                            s
+                        })
+                        .collect();
+                    cell.set("schemes", schemes);
+                    cell
+                })
+                .collect();
+            w.set("scenarios", nodes);
+            w
+        })
+        .collect();
+    doc.set("workloads", rows);
     doc
 }
 

@@ -12,16 +12,18 @@
 //! [`AdaptiveSession::checkpoint`] / [`AdaptiveSession::resume`] make a
 //! mid-campaign stop invisible in the artifact.
 
+use ses_mem::{EccDomain, WordVerdict};
 use ses_metrics::{RateInterval, ReliabilityModel};
-use ses_pipeline::FaultSpec;
+use ses_pipeline::{EccReadOutcome, FaultSpec};
 use ses_sampler::{
-    lifetime_cells, AdaptiveCheckpoint, AdaptiveConfig, AdaptiveScheduler, OccupancyProfile,
-    RoundRecord, Strata, StratifiedEstimate, StratumState, Trial,
+    lifetime_cells, splitmix64, AdaptiveCheckpoint, AdaptiveConfig, AdaptiveScheduler,
+    OccupancyProfile, RoundRecord, Strata, StratifiedEstimate, StratumState, Trial,
 };
 use ses_types::{Cycle, Ipc};
 
 use crate::campaign::Campaign;
 use crate::outcome::Outcome;
+use crate::pattern::{mask_for_class, PatternDistribution};
 
 /// Cycle windows the occupancy profile buckets the run into.
 const OCC_WINDOWS: usize = 16;
@@ -57,6 +59,20 @@ impl MetricKind {
     }
 }
 
+/// Spatial-strike configuration of an adaptive campaign: the pattern
+/// distribution the strikes are drawn from and the ECC domain that
+/// filters them. Adding this crosses the stratification with a
+/// pattern-class axis, so the scheduler steers trials toward the classes
+/// that still produce events under the domain.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PatternModel {
+    /// Pattern-class distribution (integer permille weights double as
+    /// exact stratum-replication factors).
+    pub distribution: PatternDistribution,
+    /// The protection domain guarding every stored word.
+    pub domain: EccDomain,
+}
+
 /// Configuration of an adaptive stratified campaign.
 #[derive(Debug, Clone, PartialEq)]
 pub struct AdaptiveCampaignConfig {
@@ -65,6 +81,9 @@ pub struct AdaptiveCampaignConfig {
     pub adaptive: AdaptiveConfig,
     /// The metric whose proportion is estimated.
     pub metric: MetricKind,
+    /// Spatial multi-bit strike model; `None` keeps the classic
+    /// single-bit campaign (and its artifact bytes) unchanged.
+    pub pattern: Option<PatternModel>,
 }
 
 impl Default for AdaptiveCampaignConfig {
@@ -72,6 +91,7 @@ impl Default for AdaptiveCampaignConfig {
         AdaptiveCampaignConfig {
             adaptive: AdaptiveConfig::default(),
             metric: MetricKind::SdcAvf,
+            pattern: None,
         }
     }
 }
@@ -101,20 +121,47 @@ pub fn build_strata(campaign: &Campaign) -> Strata {
     Strata::build_cells(cycles, iq, &profile, &cells)
 }
 
+/// [`build_strata`], optionally crossed with the pattern-class axis of a
+/// [`PatternModel`]: each geometric stratum is replicated per non-zero
+/// pattern class, weighted by the class's distribution mass.
+pub fn build_strata_with(campaign: &Campaign, pattern: Option<&PatternModel>) -> Strata {
+    let base = build_strata(campaign);
+    match pattern {
+        None => base,
+        Some(p) => {
+            let weights: Vec<_> = p
+                .distribution
+                .class_weights()
+                .into_iter()
+                .filter(|&(_, w)| w > 0)
+                .collect();
+            base.with_pattern_classes(&weights)
+        }
+    }
+}
+
 /// One adaptive campaign in flight over a prepared [`Campaign`].
 pub struct AdaptiveSession<'c> {
     campaign: &'c Campaign,
     scheduler: AdaptiveScheduler,
     metric: MetricKind,
+    pattern: Option<PatternModel>,
+    seed: u64,
 }
 
 impl<'c> AdaptiveSession<'c> {
     /// Starts a fresh session over a prepared campaign.
     pub fn new(campaign: &'c Campaign, cfg: AdaptiveCampaignConfig) -> Self {
+        let seed = cfg.adaptive.seed;
         AdaptiveSession {
-            scheduler: AdaptiveScheduler::new(build_strata(campaign), cfg.adaptive),
+            scheduler: AdaptiveScheduler::new(
+                build_strata_with(campaign, cfg.pattern.as_ref()),
+                cfg.adaptive,
+            ),
             campaign,
             metric: cfg.metric,
+            pattern: cfg.pattern,
+            seed,
         }
     }
 
@@ -126,10 +173,17 @@ impl<'c> AdaptiveSession<'c> {
         cfg: AdaptiveCampaignConfig,
         ckpt: &AdaptiveCheckpoint,
     ) -> Self {
+        let seed = cfg.adaptive.seed;
         AdaptiveSession {
-            scheduler: AdaptiveScheduler::restore(build_strata(campaign), cfg.adaptive, ckpt),
+            scheduler: AdaptiveScheduler::restore(
+                build_strata_with(campaign, cfg.pattern.as_ref()),
+                cfg.adaptive,
+                ckpt,
+            ),
             campaign,
             metric: cfg.metric,
+            pattern: cfg.pattern,
+            seed,
         }
     }
 
@@ -142,17 +196,64 @@ impl<'c> AdaptiveSession<'c> {
             return false;
         }
         let campaign = self.campaign;
+        let strata = self.scheduler.strata();
         let events: Vec<bool> = campaign
             .parallel_map(plan.len() as u32, |i| {
                 let t = &plan[i as usize];
-                let spec = FaultSpec::single(Cycle::new(t.coord.cycle), t.coord.slot, t.coord.bit);
                 // The resume-vs-scratch determinism guard runs on a fixed
                 // subsample; running it on every trial of an exhaustive
                 // stratum would double debug-build cost for no coverage.
-                let outcome = if cfg!(debug_assertions) && i.is_multiple_of(64) {
-                    campaign.inject_spec(spec)
-                } else {
-                    campaign.inject_spec_quiet(spec)
+                let verify = cfg!(debug_assertions) && i.is_multiple_of(64);
+                let inject = |spec: FaultSpec| {
+                    if verify {
+                        campaign.inject_spec(spec)
+                    } else {
+                        campaign.inject_spec_quiet(spec)
+                    }
+                };
+                let outcome = match strata.strata()[t.stratum].key.pattern {
+                    None => inject(FaultSpec::single(
+                        Cycle::new(t.coord.cycle),
+                        t.coord.slot,
+                        t.coord.bit,
+                    )),
+                    Some(class) => {
+                        let model = self
+                            .pattern
+                            .expect("pattern-stratified partition implies a pattern model");
+                        // Extra placement randomness (only random doubles
+                        // consume it), derived from the coordinate so it is
+                        // identical across thread counts and resume.
+                        let aux = splitmix64(
+                            self.seed
+                                ^ t.coord.cycle.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                                ^ (t.coord.slot as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9)
+                                ^ u64::from(t.coord.bit),
+                        );
+                        let mask = mask_for_class(class, t.coord.bit, aux);
+                        match model.domain.classify_word(mask) {
+                            // Absorbed at the decoder: benign with no
+                            // pipeline run — the cost saving ECC campaigns
+                            // get for free.
+                            WordVerdict::Corrected => Outcome::Benign,
+                            WordVerdict::Signalled => {
+                                inject(FaultSpec::with_pattern(
+                                    Cycle::new(t.coord.cycle),
+                                    t.coord.slot,
+                                    mask,
+                                    Some(EccReadOutcome::Signal),
+                                ))
+                            }
+                            WordVerdict::Silent { effective } => {
+                                inject(FaultSpec::with_pattern(
+                                    Cycle::new(t.coord.cycle),
+                                    t.coord.slot,
+                                    effective,
+                                    Some(EccReadOutcome::Silent),
+                                ))
+                            }
+                        }
+                    }
                 };
                 self.metric.is_event(outcome)
             })
@@ -321,6 +422,7 @@ mod tests {
                 seed: 7,
             },
             metric: MetricKind::SdcAvf,
+            pattern: None,
         }
     }
 
@@ -426,6 +528,62 @@ mod tests {
             }
         }
         assert!(checked > 0, "no masked coordinate found to check");
+    }
+
+    #[test]
+    fn pattern_session_is_thread_count_invariant_and_resumable() {
+        use ses_mem::{EccDomain, EccScheme};
+        let cfg = || AdaptiveCampaignConfig {
+            metric: MetricKind::DueAvf,
+            pattern: Some(PatternModel {
+                distribution: PatternDistribution::default(),
+                domain: EccDomain::new(EccScheme::SecDed),
+            }),
+            ..quick_adaptive()
+        };
+        let run = |threads| {
+            let c = small_campaign(threads);
+            AdaptiveSession::new(&c, cfg()).run()
+        };
+        let one = run(1);
+        let two = run(2);
+        assert_eq!(one, two, "pattern report must not depend on threads");
+
+        let c = small_campaign(2);
+        let mut first = AdaptiveSession::new(&c, cfg());
+        assert!(first.step_round());
+        let ckpt = first.checkpoint();
+        let resumed = AdaptiveSession::resume(&c, cfg(), &ckpt).run();
+        assert_eq!(one, resumed, "resume must match the uninterrupted run");
+        // Stratum labels carry the pattern-class suffix.
+        assert!(one.strata.iter().any(|s| s.label.ends_with("/single")));
+        assert!(one
+            .strata
+            .iter()
+            .any(|s| s.label.ends_with("/random-double")));
+    }
+
+    #[test]
+    fn pattern_strata_weights_carry_the_distribution() {
+        let c = small_campaign(1);
+        let model = PatternModel {
+            distribution: PatternDistribution::default(),
+            domain: EccDomain::new(ses_mem::EccScheme::HammingSec),
+        };
+        let base = build_strata(&c);
+        let crossed = build_strata_with(&c, Some(&model));
+        assert_eq!(crossed.len(), base.len() * 4);
+        assert_eq!(crossed.total_size(), base.total_size() * 1000);
+        assert_eq!(crossed.masked_size(), base.masked_size() * 1000);
+        // Summed over strata, each class holds exactly its distribution
+        // mass of the sampled space.
+        let class_mass: u64 = crossed
+            .strata()
+            .iter()
+            .filter(|s| s.key.pattern == Some(ses_sampler::PatternClass::Single))
+            .map(|s| s.size())
+            .sum();
+        assert_eq!(class_mass, base.sampled_size() * 850);
     }
 
     #[test]

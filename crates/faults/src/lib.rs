@@ -45,13 +45,19 @@
 
 pub mod adaptive;
 mod campaign;
+mod ecc_campaign;
 mod outcome;
+mod pattern;
 mod report;
 
 pub use adaptive::{
-    build_strata, AdaptiveCampaignConfig, AdaptiveCampaignReport, AdaptiveSession, MetricKind,
-    StratumReport,
+    build_strata, build_strata_with, AdaptiveCampaignConfig, AdaptiveCampaignReport,
+    AdaptiveSession, MetricKind, PatternModel, StratumReport,
 };
 pub use campaign::{Campaign, CampaignConfig, DetailedReport, UniformRun};
+pub use ecc_campaign::{read_probability, run_ecc_campaign, EccCampaignConfig, EccCampaignReport};
 pub use outcome::Outcome;
+pub use pattern::{
+    class_instances, mask_for_class, PatternDistribution, ResidualModel, StrikePattern,
+};
 pub use report::{CampaignPerf, CampaignReport};

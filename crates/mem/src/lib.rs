@@ -27,10 +27,14 @@
 #![deny(rustdoc::broken_intra_doc_links)]
 
 mod cache;
+mod ecc;
 mod hierarchy;
 mod pi;
 
 pub use cache::{Cache, CacheConfig, CacheSnapshot, LookupOutcome};
+pub use ecc::{
+    code_for, ClassProfile, EccClass, EccCode, EccDomain, EccScheme, RefDecoder, WordVerdict,
+};
 pub use hierarchy::{
     AccessKind, AccessResult, Hierarchy, HierarchyConfig, HierarchySnapshot, Level, LevelStats,
 };

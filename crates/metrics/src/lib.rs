@@ -22,10 +22,12 @@
 #![deny(missing_docs)]
 #![deny(rustdoc::broken_intra_doc_links)]
 
+mod environment;
 mod model;
 mod table;
 pub mod telemetry;
 
+pub use environment::{fit_to_mttf, raw_fit_per_bit, Environment, TechNode};
 pub use model::{RateInterval, RatePoint, ReliabilityModel};
 pub use table::Table;
 pub use telemetry::{JsonValue, TelemetryLevel, SCHEMA_VERSION};

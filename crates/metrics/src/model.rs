@@ -81,7 +81,8 @@ impl ReliabilityModel {
     /// MTTF); fully protected structures should simply not be queried.
     pub fn rate(&self, ipc: Ipc, avf: Avf) -> RatePoint {
         let fit = self.raw_rate().derated(avf);
-        let mttf = Mttf::from_fit(fit);
+        let mttf = crate::environment::fit_to_mttf(fit)
+            .expect("a zero FIT rate has no finite MTTF; do not query fully protected structures");
         RatePoint {
             fit,
             mttf,

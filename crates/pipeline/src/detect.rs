@@ -44,6 +44,27 @@ pub struct FaultSpec {
     /// The second strike only applies if the originally struck entry is
     /// still resident.
     pub second_cycle: Option<Cycle>,
+    /// When set, the first strike flips this arbitrary multi-bit mask
+    /// instead of the bit/second_bit pair — the spatial strike-pattern
+    /// model. `bit` stays the anchor (lowest flipped bit) so stratum and
+    /// replay bookkeeping keep working.
+    pub pattern: Option<u64>,
+    /// Verdict of the ECC protection domain guarding the struck word, if
+    /// one is configured. `None` means no ECC domain (or the pattern was
+    /// fully corrected, in which case no fault is injected at all).
+    pub ecc: Option<EccReadOutcome>,
+}
+
+/// What a word's ECC domain concluded about the injected strike pattern,
+/// precomputed by the campaign layer (the codeword algebra lives in
+/// `ses-mem`; the pipeline only needs the disposition).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EccReadOutcome {
+    /// Uncorrectable but detected: the read raises a machine check (DUE).
+    Signal,
+    /// The pattern escaped the decoder (undetected codeword or silent
+    /// miscorrection): the corrupted word flows on as an SDC candidate.
+    Silent,
 }
 
 impl FaultSpec {
@@ -55,6 +76,8 @@ impl FaultSpec {
             bit,
             second_bit: None,
             second_cycle: None,
+            pattern: None,
+            ecc: None,
         }
     }
 
@@ -62,27 +85,46 @@ impl FaultSpec {
     /// simultaneous (one particle, two cells).
     pub fn adjacent_double(cycle: Cycle, slot: usize, bit: u32) -> Self {
         FaultSpec {
-            cycle,
-            slot,
-            bit,
             second_bit: Some((bit + 1) % 64),
-            second_cycle: None,
+            ..FaultSpec::single(cycle, slot, bit)
         }
     }
 
     /// Two independent strikes on the same entry, `gap` cycles apart.
     pub fn temporal_double(cycle: Cycle, slot: usize, bit: u32, gap: u64) -> Self {
         FaultSpec {
-            cycle,
-            slot,
-            bit,
             second_bit: Some((bit + 1) % 64),
             second_cycle: Some(cycle + gap),
+            ..FaultSpec::single(cycle, slot, bit)
+        }
+    }
+
+    /// A spatial multi-bit strike: `mask` is flipped simultaneously at
+    /// `cycle`, and `ecc` carries the word's protection-domain verdict
+    /// (if any). The anchor bit is the lowest flipped bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mask` is empty.
+    pub fn with_pattern(
+        cycle: Cycle,
+        slot: usize,
+        mask: u64,
+        ecc: Option<EccReadOutcome>,
+    ) -> Self {
+        assert_ne!(mask, 0, "a strike pattern flips at least one bit");
+        FaultSpec {
+            pattern: Some(mask),
+            ecc,
+            ..FaultSpec::single(cycle, slot, mask.trailing_zeros())
         }
     }
 
     /// The XOR mask applied at the first strike.
     pub fn mask(&self) -> u64 {
+        if let Some(p) = self.pattern {
+            return p;
+        }
         let second_now = match self.second_cycle {
             None => self.second_bit.map(|b| 1u64 << b).unwrap_or(0),
             Some(_) => 0,
@@ -282,6 +324,9 @@ pub struct Detector {
     /// Trace index of the corrupted instruction once committed (for PET
     /// verdict matching).
     pi_trace_idx: Option<u64>,
+    /// Precomputed ECC protection-domain verdict for the injected
+    /// pattern, consulted at the first read of the corrupted word.
+    ecc_verdict: Option<EccReadOutcome>,
 }
 
 impl Detector {
@@ -306,7 +351,16 @@ impl Detector {
             tracker,
             pet,
             pi_trace_idx: None,
+            ecc_verdict: None,
         }
+    }
+
+    /// Arms the ECC protection-domain verdict for the injected pattern.
+    /// Called by the engine alongside the injection itself, so snapshots
+    /// taken before the strike resume with a clean detector and re-arm
+    /// identically.
+    pub fn set_ecc_verdict(&mut self, verdict: Option<EccReadOutcome>) {
+        self.ecc_verdict = verdict;
     }
 
     fn tracking(&self) -> Option<TrackingConfig> {
@@ -375,6 +429,25 @@ impl Detector {
         };
         if !entry.parity_mismatch() {
             return false;
+        }
+        if let Some(verdict) = self.ecc_verdict {
+            // The word sits behind an ECC protection domain: the decoder
+            // runs at this first read and its verdict was precomputed from
+            // the full strike pattern (corrected patterns never reach the
+            // pipeline at all).
+            return match verdict {
+                EccReadOutcome::Signal => {
+                    self.outcome = Some(FaultOutcome::Signalled {
+                        point: SignalPoint::EccCheck,
+                        corruption: struck.corruption,
+                    });
+                    true
+                }
+                EccReadOutcome::Silent => {
+                    struck.corrupt_issued = true;
+                    false // resolution waits for retire vs. squash
+                }
+            };
         }
         let flipped = entry.word ^ entry.original_word;
         if !parity_detects(flipped, self.model.domains()) {

@@ -733,6 +733,7 @@ impl<'a> Engine<'a> {
         }
         if f.cycle == now {
             let entry = self.iq.get_mut(f.slot);
+            self.detector.set_ecc_verdict(f.ecc);
             self.detector.on_injection(entry, f.mask());
             if self.detector.outcome().is_some() {
                 self.stop_early = true;

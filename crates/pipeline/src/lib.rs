@@ -50,7 +50,7 @@ pub use config::{
     IssueOrder, PipelineConfig, PredictorConfig, PredictorKind, SquashPolicy, ThrottlePolicy,
 };
 pub use detect::{
-    parity_detects, Corruption, DetectionModel, Detector, FaultOutcome, FaultSpec,
+    parity_detects, Corruption, DetectionModel, Detector, EccReadOutcome, FaultOutcome, FaultSpec,
     SuppressReason, TrackingConfig,
 };
 pub use engine::{Pipeline, Snapshot};

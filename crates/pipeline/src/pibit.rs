@@ -67,6 +67,9 @@ impl PiScope {
 pub enum SignalPoint {
     /// Machine check at issue (parity without π tracking).
     IssueParity,
+    /// The word's ECC protection domain detected an uncorrectable error
+    /// at the first read of the corrupted word.
+    EccCheck,
     /// At the commit point of the affected instruction.
     Commit,
     /// A later instruction read a poisoned register.

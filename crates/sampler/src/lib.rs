@@ -30,8 +30,8 @@ pub use adaptive::{
     StratumCheckpoint, StratumEstimate, StratumState, Trial,
 };
 pub use stratify::{
-    lifetime_cells, BitClass, FaultCoord, LifetimeCell, OccupancyProfile, Phase, Strata,
-    Stratum, StratumKey, OCC_BUCKETS,
+    lifetime_cells, BitClass, FaultCoord, LifetimeCell, OccupancyProfile, PatternClass, Phase,
+    Strata, Stratum, StratumKey, OCC_BUCKETS,
 };
 
 // The span geometry the cells derive from is ses-avf's canonical

@@ -280,6 +280,53 @@ impl OccupancyProfile {
     }
 }
 
+/// Spatial strike-pattern class, after the SRAM upset distributions of
+/// deep-submicron nodes: most upsets flip one cell, but a measurable tail
+/// flips adjacent pairs, adjacent triples, or two independent cells.
+/// Used both as the strike generator's sampling alphabet and as an extra
+/// stratification axis, so the adaptive sampler steers trials toward the
+/// pattern classes that actually produce events under a given ECC scheme.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PatternClass {
+    /// One flipped cell.
+    Single,
+    /// Two adjacent cells (one particle track).
+    DoubleAdjacent,
+    /// Three adjacent cells.
+    TripleAdjacent,
+    /// Two independent, non-adjacent cells.
+    RandomDouble,
+}
+
+impl PatternClass {
+    /// All classes, in descending typical-frequency order.
+    pub const ALL: [PatternClass; 4] = [
+        PatternClass::Single,
+        PatternClass::DoubleAdjacent,
+        PatternClass::TripleAdjacent,
+        PatternClass::RandomDouble,
+    ];
+
+    /// Stable label for stratum and telemetry naming.
+    pub fn label(self) -> &'static str {
+        match self {
+            PatternClass::Single => "single",
+            PatternClass::DoubleAdjacent => "double-adj",
+            PatternClass::TripleAdjacent => "triple-adj",
+            PatternClass::RandomDouble => "random-double",
+        }
+    }
+
+    /// Number of bits the class flips.
+    pub fn weight(self) -> u32 {
+        match self {
+            PatternClass::Single => 1,
+            PatternClass::DoubleAdjacent | PatternClass::RandomDouble => 2,
+            PatternClass::TripleAdjacent => 3,
+        }
+    }
+}
+
 /// Identity of one stratum.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct StratumKey {
@@ -291,18 +338,27 @@ pub struct StratumKey {
     pub phase: Phase,
     /// Occupancy bucket of the strike cycle's window.
     pub occ: u8,
+    /// Strike-pattern class axis, present only in multi-bit campaigns
+    /// (single-bit partitions leave it `None` so their labels — and the
+    /// artifacts built from them — are unchanged).
+    pub pattern: Option<PatternClass>,
 }
 
 impl StratumKey {
-    /// Stable label for telemetry artifacts, e.g. `q1/control/live/occ3`.
+    /// Stable label for telemetry artifacts, e.g. `q1/control/live/occ3`
+    /// (with a `/double-adj`-style suffix in pattern-stratified runs).
     pub fn label(&self) -> String {
-        format!(
+        let base = format!(
             "q{}/{}/{}/occ{}",
             self.region,
             self.class.label(),
             self.phase.label(),
             self.occ
-        )
+        );
+        match self.pattern {
+            None => base,
+            Some(p) => format!("{base}/{}", p.label()),
+        }
     }
 }
 
@@ -318,8 +374,13 @@ pub struct Stratum {
     cum: Vec<u64>,
     /// Bit positions of the class, ascending.
     bits: Vec<u32>,
-    /// Total coordinates.
+    /// Coordinates in the underlying geometric cell.
     size: u64,
+    /// Replication multiplier: a pattern-stratified partition replicates
+    /// each geometric cell per pattern class, scaled by the class's
+    /// integer probability weight, so exact partition weights carry the
+    /// pattern distribution with no floating-point bookkeeping.
+    rep: u64,
 }
 
 impl Stratum {
@@ -337,22 +398,25 @@ impl Stratum {
             cum,
             bits,
             size,
+            rep: 1,
         }
     }
 
-    /// Number of coordinates in this stratum.
+    /// Number of coordinates in this stratum (replication included).
     pub fn size(&self) -> u64 {
-        self.size
+        self.size * self.rep
     }
 
     /// The `rank`-th coordinate, in (segment, cycle, bit) order. Ranks
-    /// `0..size()` enumerate the stratum exactly once.
+    /// `0..size()` enumerate the stratum, visiting each geometric
+    /// coordinate exactly `rep` times (once when unreplicated).
     ///
     /// # Panics
     ///
     /// Panics if `rank >= size()`.
     pub fn coord(&self, rank: u64) -> FaultCoord {
-        assert!(rank < self.size, "rank out of range");
+        assert!(rank < self.size(), "rank out of range");
+        let rank = rank % self.size;
         let i = self.cum.partition_point(|&c| c <= rank) - 1;
         let within = rank - self.cum[i];
         let nb = self.bits.len() as u64;
@@ -478,6 +542,7 @@ impl Strata {
                                 class,
                                 phase,
                                 occ: occ as u8,
+                                pattern: None,
                             },
                             segs,
                             bits.clone(),
@@ -536,9 +601,44 @@ impl Strata {
     }
 
     /// Index of the stratum containing a coordinate, if any. Masked
-    /// (known-benign) coordinates belong to no stratum.
+    /// (known-benign) coordinates belong to no stratum. In a
+    /// pattern-stratified partition the geometric coordinate belongs to
+    /// one replica per class; the first (most frequent class) is
+    /// returned.
     pub fn stratum_of(&self, c: &FaultCoord) -> Option<usize> {
         self.strata.iter().position(|s| s.contains(c))
+    }
+
+    /// Crosses the partition with a strike-pattern axis: every stratum is
+    /// replicated once per `(class, weight)` pair, its size scaled by the
+    /// integer weight, so a class with weight `w` holds exactly
+    /// `w / Σweights` of each geometric cell's partition mass. Weights of
+    /// zero drop the class. Masked mass scales identically, keeping
+    /// sampled weights exact.
+    ///
+    /// # Panics
+    ///
+    /// Panics if all weights are zero.
+    pub fn with_pattern_classes(&self, weights: &[(PatternClass, u64)]) -> Strata {
+        let wsum: u64 = weights.iter().map(|&(_, w)| w).sum();
+        assert!(wsum > 0, "pattern distribution must have positive mass");
+        let mut strata = Vec::with_capacity(self.strata.len() * weights.len());
+        for s in &self.strata {
+            for &(class, w) in weights {
+                if w == 0 {
+                    continue;
+                }
+                let mut t = s.clone();
+                t.key.pattern = Some(class);
+                t.rep = s.rep * w;
+                strata.push(t);
+            }
+        }
+        Strata {
+            strata,
+            total_size: self.total_size * wsum,
+            masked_size: self.masked_size * wsum,
+        }
     }
 }
 

@@ -18,11 +18,12 @@ use std::process::ExitCode;
 
 use ses_core::telemetry as artifact;
 use ses_core::{
-    compare_suites, mean, run_fuzz, run_suite_with, run_workload, spec_by_name,
-    splitmix64, suite, AdaptiveCampaignConfig, AdaptiveConfig, AdaptiveSession, Campaign,
-    CampaignConfig, DetectionModel, FalseDueCause, FuzzConfig, JsonValue, Level, MetricKind,
-    Outcome, Pipeline, PipelineConfig, ReliabilityModel, Table, Technique, TelemetryLevel,
-    TrackingConfig,
+    compare_suites, mean, read_probability, run_ecc_campaign, run_fuzz, run_suite_with,
+    run_workload, spec_by_name, splitmix64, suite, AdaptiveCampaignConfig, AdaptiveConfig,
+    AdaptiveSession, Campaign, CampaignConfig, DetectionModel, EccCampaignConfig, EccDomain,
+    EccScheme, Environment, FalseDueCause, FuzzConfig, JsonValue, Level, MetricKind, Outcome,
+    PatternClass, PatternDistribution, PatternModel, Pipeline, PipelineConfig, ReliabilityModel,
+    Table, TechNode, Technique, TelemetryLevel, TrackingConfig,
 };
 
 /// The `--json` / `--telemetry` flags shared by every subcommand.
@@ -375,12 +376,36 @@ fn cmd_campaign(name: &str, args: &[String], tel: &Telemetry) -> Result<(), Stri
     let mut target_halfwidth = 0.05f64;
     let mut detection = DetectionModel::None;
     let mut seed = 2026u64;
-    let mut max_injections = 200_000u32;
+    let mut max_injections: Option<u32> = None;
     let mut gate_vs_uniform = false;
+    let mut spatial: Option<bool> = None;
+    let mut ecc: Option<EccScheme> = None;
+    let mut node: Option<TechNode> = None;
+    let mut env: Option<Environment> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--adaptive" => adaptive = true,
+            "--pattern-model" => {
+                spatial = Some(match it.next().ok_or("--pattern-model needs a value")?.as_str() {
+                    "single" => false,
+                    "spatial" => true,
+                    other => {
+                        return Err(format!(
+                            "unknown pattern model '{other}' (use single/spatial)"
+                        ))
+                    }
+                });
+            }
+            "--ecc" => {
+                ecc = Some(EccScheme::parse(it.next().ok_or("--ecc needs a scheme")?)?);
+            }
+            "--node" => {
+                node = Some(TechNode::parse(it.next().ok_or("--node needs a value")?)?);
+            }
+            "--env" => {
+                env = Some(Environment::parse(it.next().ok_or("--env needs a value")?)?);
+            }
             "--target-halfwidth" => {
                 target_halfwidth = it
                     .next()
@@ -409,11 +434,12 @@ fn cmd_campaign(name: &str, args: &[String], tel: &Telemetry) -> Result<(), Stri
                     .map_err(|e| format!("bad seed: {e}"))?;
             }
             "--injections" => {
-                max_injections = it
-                    .next()
-                    .ok_or("--injections needs a cap")?
-                    .parse()
-                    .map_err(|e| format!("bad count: {e}"))?;
+                max_injections = Some(
+                    it.next()
+                        .ok_or("--injections needs a cap")?
+                        .parse()
+                        .map_err(|e| format!("bad count: {e}"))?,
+                );
             }
             "--gate-vs-uniform" => gate_vs_uniform = true,
             other if other.starts_with("--") => return Err(format!("unknown flag '{other}'")),
@@ -430,8 +456,95 @@ fn cmd_campaign(name: &str, args: &[String], tel: &Telemetry) -> Result<(), Stri
         ..CampaignConfig::default()
     };
     let campaign = Campaign::prepare(&spec, config).map_err(|e| e.to_string())?;
-    let model = ReliabilityModel::default();
+    // `--node`/`--env` swap the default raw-rate model for a technology
+    // scenario; either flag alone fills the other from its default.
+    let model = if node.is_some() || env.is_some() {
+        ReliabilityModel::for_scenario(
+            node.unwrap_or(TechNode::N28),
+            env.unwrap_or(Environment::Consumer),
+        )
+    } else {
+        ReliabilityModel::default()
+    };
 
+    // `--ecc` (or an explicit `--pattern-model`) turns on the multi-bit
+    // spatial strike engine. The scheme defaults to unprotected;
+    // `--pattern-model single` collapses the distribution to single-bit
+    // strikes so the ECC path can be compared against the classic one.
+    let pattern = if ecc.is_some() || spatial.is_some() {
+        Some(PatternModel {
+            distribution: if spatial == Some(false) {
+                PatternDistribution::single_only()
+            } else {
+                PatternDistribution::default()
+            },
+            domain: EccDomain::new(ecc.unwrap_or(EccScheme::None)),
+        })
+    } else {
+        None
+    };
+
+    if let (Some(p), false) = (&pattern, adaptive) {
+        // Fixed-budget multi-bit campaign under the protection domain.
+        let cfg = EccCampaignConfig {
+            injections: max_injections.unwrap_or(1000),
+            seed,
+            distribution: p.distribution,
+            domain: p.domain,
+        };
+        let report = run_ecc_campaign(&campaign, &cfg);
+        println!(
+            "ecc campaign: {} strikes under {} ({} check bits/word)",
+            cfg.injections,
+            cfg.domain.label(),
+            cfg.domain.check_bits()
+        );
+        for (class, n) in PatternClass::ALL.iter().zip(report.per_class) {
+            println!("  {:16} {n}", class.label());
+        }
+        println!(
+            "dispositions: corrected {}  detected {}  silent {}",
+            report.corrected, report.detected, report.silent
+        );
+        println!(
+            "analytic residual: corrected {:.4}  detected {:.4}  silent {:.6}",
+            report.analytic.corrected, report.analytic.detected, report.analytic.silent
+        );
+        println!(
+            "measured rates: DUE {:.2}% +/- {:.2}%   SDC {:.2}% +/- {:.2}%",
+            report.due_rate() * 100.0,
+            report.ci95(report.due_rate()) * 100.0,
+            report.sdc_rate() * 100.0,
+            report.ci95(report.sdc_rate()) * 100.0
+        );
+        let rates = model.rate_interval(
+            ses_core::Ipc::new(campaign.baseline_ipc()),
+            report.due_rate(),
+            report.ci95(report.due_rate()),
+        );
+        if let Some(pt) = rates.point {
+            println!(
+                "DUE rates: {:.4} FIT, MTTF {:.2e} years",
+                pt.fit.value(),
+                pt.mttf.years()
+            );
+        } else {
+            println!("DUE rates: no machine checks observed; FIT interval starts at 0");
+        }
+        if tel.active() {
+            tel.emit(&artifact::ecc_campaign_artifact(
+                name,
+                &cfg,
+                &report,
+                campaign.baseline_ipc(),
+                &model,
+                tel.level,
+            ))?;
+        }
+        return Ok(());
+    }
+
+    let max_injections = max_injections.unwrap_or(200_000);
     if !adaptive {
         let uniform =
             campaign.run_uniform_to_target(target_halfwidth, metric, 64, max_injections);
@@ -467,7 +580,15 @@ fn cmd_campaign(name: &str, args: &[String], tel: &Telemetry) -> Result<(), Stri
             ..AdaptiveConfig::default()
         },
         metric,
+        pattern,
     };
+    if let Some(p) = &cfg.pattern {
+        println!(
+            "spatial strikes under {} ({} check bits/word)",
+            p.domain.label(),
+            p.domain.check_bits()
+        );
+    }
     let report = AdaptiveSession::new(&campaign, cfg.clone()).run();
     let est = &report.estimate;
     println!(
@@ -511,6 +632,80 @@ fn cmd_campaign(name: &str, args: &[String], tel: &Telemetry) -> Result<(), Stri
             "adaptive campaign used {} trials but uniform would need only {}",
             report.total_trials, equivalent
         ));
+    }
+    Ok(())
+}
+
+/// `ecc-grid` — the analytic (node × environment × scheme) residual-rate
+/// grid for one or more workloads. Each workload contributes only its
+/// measured read probability (a forced-signal single-bit probe) and
+/// baseline IPC; everything else is exact enumeration, so the artifact
+/// regenerates byte-identically from the same command. The pinned golden
+/// `tests/golden/campaign_ecc.json` is produced exactly this way.
+fn cmd_ecc_grid(args: &[String], tel: &Telemetry) -> Result<(), String> {
+    let mut names = Vec::new();
+    let mut probes = 400u32;
+    let mut seed = 0xECCu64;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--probes" => {
+                probes = it
+                    .next()
+                    .ok_or("--probes needs a count")?
+                    .parse()
+                    .map_err(|e| format!("bad count: {e}"))?;
+            }
+            "--seed" => {
+                seed = it
+                    .next()
+                    .ok_or("--seed needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad seed: {e}"))?;
+            }
+            other if other.starts_with("--") => return Err(format!("unknown flag '{other}'")),
+            name => names.push(name.to_string()),
+        }
+    }
+    if names.is_empty() {
+        return Err("ecc-grid needs at least one benchmark name".into());
+    }
+    let distribution = PatternDistribution::default();
+    let mut workloads = Vec::new();
+    for name in &names {
+        let spec = spec_by_name(name).ok_or_else(|| format!("unknown benchmark '{name}'"))?;
+        let campaign = Campaign::prepare(
+            &spec,
+            CampaignConfig {
+                injections: 0,
+                seed,
+                detection: DetectionModel::None,
+                ..CampaignConfig::default()
+            },
+        )
+        .map_err(|e| e.to_string())?;
+        let p_read = read_probability(&campaign, probes, seed);
+        println!(
+            "{name}: P(read) = {:.4} over {probes} probes, IPC {:.3}",
+            p_read,
+            campaign.baseline_ipc()
+        );
+        workloads.push((name.clone(), campaign.baseline_ipc(), p_read, probes));
+    }
+    let mut t = Table::new(vec!["scheme", "check bits", "residual detected", "residual silent"]);
+    for &scheme in &EccScheme::ALL {
+        let domain = EccDomain::new(scheme);
+        let res = ses_core::ResidualModel::analytic(&distribution, &domain);
+        t.row(vec![
+            domain.label(),
+            domain.check_bits().to_string(),
+            format!("{:.6}", res.detected),
+            format!("{:.6}", res.silent),
+        ]);
+    }
+    println!("{t}");
+    if tel.active() {
+        tel.emit(&artifact::ecc_grid_artifact(&distribution, &workloads, tel.level))?;
     }
     Ok(())
 }
@@ -794,6 +989,7 @@ fn usage() -> &'static str {
        bench <name> [flags]        detailed report for one benchmark\n\
        inject <name> [options]     fault-injection campaign\n\
        campaign <name> [options]   confidence-targeted campaign (adaptive or uniform)\n\
+       ecc-grid <names> [options]  analytic node x environment x scheme residual grid\n\
        pet <name>                  PET-buffer size sweep\n\
        run-asm <file.s>            assemble and analyse a SES-64 program\n\
        compare [flags]             suite baseline-vs-variant comparison\n\
@@ -803,6 +999,9 @@ fn usage() -> &'static str {
      inject options: --injections N   --model none|parity|tracking\n\
      campaign options: --adaptive  --target-halfwidth W  --model none|parity|tracking\n\
                        --seed N  --injections CAP  --gate-vs-uniform\n\
+                       --pattern-model single|spatial  --ecc none|parity|sec|sec-ded|taec|dec\n\
+                       --node 28nm|16nm|7nm  --env consumer|avionics|space\n\
+     ecc-grid options: --probes N  --seed N\n\
      fuzz options: --seed N  --iters N  --shrink|--no-shrink  --out DIR\n\
                    --inject-every N  --emit-corpus DIR  --corpus-count N\n\
      artifact flags (any command): --json <path>   --telemetry off|summary|full"
@@ -825,6 +1024,7 @@ fn dispatch(args: &[String]) -> Result<(), String> {
             Some(name) if !name.starts_with("--") => cmd_campaign(name, &args[2..], &tel),
             _ => Err("campaign needs a benchmark name".into()),
         },
+        Some("ecc-grid") => cmd_ecc_grid(&args[1..], &tel),
         Some("pet") => match args.get(1) {
             Some(name) if !name.starts_with("--") => cmd_pet(name, &tel),
             _ => Err("pet needs a benchmark name".into()),

@@ -127,6 +127,7 @@ fn adaptive_artifact_is_thread_count_invariant() {
             ..AdaptiveConfig::default()
         },
         metric: MetricKind::SdcAvf,
+        pattern: None,
     };
     let render_with = |threads: usize| {
         let campaign = Campaign::prepare(
@@ -178,6 +179,7 @@ fn adaptive_artifact_survives_stop_and_resume() {
             ..AdaptiveConfig::default()
         },
         metric: MetricKind::DueAvf,
+        pattern: None,
     };
     let campaign = Campaign::prepare(
         &spec,
@@ -217,4 +219,134 @@ fn adaptive_artifact_survives_stop_and_resume() {
         render(&resumed_report),
         "stop/resume must not perturb the adaptive artifact"
     );
+}
+
+/// Satellite: the multi-bit (spatial strike + ECC domain) adaptive
+/// campaign inherits every determinism guarantee of the single-bit one —
+/// the pattern draw and decoder verdict are pure functions of the
+/// stratified coordinate, so the artifact is byte-identical across
+/// worker-thread counts *and* across a checkpoint/resume boundary.
+#[test]
+fn pattern_adaptive_artifact_is_thread_count_invariant_and_resumable() {
+    use ses_core::telemetry::adaptive_campaign_artifact;
+    use ses_core::{
+        AdaptiveCampaignConfig, AdaptiveConfig, AdaptiveSession, Campaign, CampaignConfig,
+        DetectionModel, EccDomain, EccScheme, MetricKind, PatternDistribution, PatternModel,
+        ReliabilityModel, TelemetryLevel,
+    };
+    let spec = WorkloadSpec::quick("det-ecc-adaptive", 41);
+    let cfg = AdaptiveCampaignConfig {
+        adaptive: AdaptiveConfig {
+            target_halfwidth: 0.08,
+            min_per_stratum: 8,
+            round_budget: 128,
+            max_rounds: 12,
+            seed: 0xEC,
+            ..AdaptiveConfig::default()
+        },
+        metric: MetricKind::DueAvf,
+        pattern: Some(PatternModel {
+            distribution: PatternDistribution::default(),
+            domain: EccDomain::new(EccScheme::SecDed),
+        }),
+    };
+    let prepare = |threads: usize| {
+        Campaign::prepare(
+            &spec,
+            CampaignConfig {
+                seed: 17,
+                detection: DetectionModel::None,
+                threads,
+                ..CampaignConfig::default()
+            },
+        )
+        .unwrap()
+    };
+    let render = |report: &ses_core::AdaptiveCampaignReport| {
+        adaptive_campaign_artifact(
+            "det-ecc-adaptive",
+            &cfg,
+            report,
+            &ReliabilityModel::default(),
+            TelemetryLevel::Summary,
+        )
+        .render()
+    };
+    let run_with = |threads: usize| {
+        let campaign = prepare(threads);
+        let report = AdaptiveSession::new(&campaign, cfg.clone()).run();
+        render(&report)
+    };
+    let one = run_with(1);
+    let two = run_with(2);
+    let eight = run_with(8);
+    assert_eq!(one, two, "ECC adaptive artifact must not depend on threads (1 vs 2)");
+    assert_eq!(one, eight, "ECC adaptive artifact must not depend on threads (1 vs 8)");
+    assert!(
+        one.contains("\"pattern_model\""),
+        "multi-bit artifact must carry the spatial-strike stanza"
+    );
+
+    // Checkpoint/resume: interrupt after the pilot round, serialise the
+    // scheduler, resume in a fresh session — same bytes.
+    let campaign = prepare(2);
+    let mut straight = AdaptiveSession::new(&campaign, cfg.clone());
+    let uninterrupted = straight.run();
+    let mut first = AdaptiveSession::new(&campaign, cfg.clone());
+    assert!(first.step_round(), "pilot round must run");
+    let ckpt = first.checkpoint();
+    drop(first);
+    let mut resumed = AdaptiveSession::resume(&campaign, cfg.clone(), &ckpt);
+    let resumed_report = resumed.run();
+    assert_eq!(
+        render(&uninterrupted),
+        render(&resumed_report),
+        "stop/resume must not perturb the ECC adaptive artifact"
+    );
+}
+
+/// The single-bit adaptive artifact pre-dates the spatial-strike engine:
+/// with `pattern: None` its bytes must not change — no stanza, no label
+/// suffixes, nothing.
+#[test]
+fn single_bit_adaptive_artifact_has_no_pattern_stanza() {
+    use ses_core::telemetry::adaptive_campaign_artifact;
+    use ses_core::{
+        AdaptiveCampaignConfig, AdaptiveConfig, AdaptiveSession, Campaign, CampaignConfig,
+        DetectionModel, MetricKind, ReliabilityModel, TelemetryLevel,
+    };
+    let spec = WorkloadSpec::quick("det-no-pattern", 43);
+    let cfg = AdaptiveCampaignConfig {
+        adaptive: AdaptiveConfig {
+            target_halfwidth: 0.1,
+            min_per_stratum: 8,
+            round_budget: 64,
+            max_rounds: 6,
+            seed: 0x51,
+            ..AdaptiveConfig::default()
+        },
+        metric: MetricKind::SdcAvf,
+        pattern: None,
+    };
+    let campaign = Campaign::prepare(
+        &spec,
+        CampaignConfig {
+            seed: 19,
+            detection: DetectionModel::None,
+            threads: 2,
+            ..CampaignConfig::default()
+        },
+    )
+    .unwrap();
+    let report = AdaptiveSession::new(&campaign, cfg.clone()).run();
+    let rendered = adaptive_campaign_artifact(
+        "det-no-pattern",
+        &cfg,
+        &report,
+        &ReliabilityModel::default(),
+        TelemetryLevel::Summary,
+    )
+    .render();
+    assert!(!rendered.contains("pattern_model"));
+    assert!(!rendered.contains("/single"), "stratum labels must stay unsuffixed");
 }

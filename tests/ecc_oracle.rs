@@ -1,0 +1,260 @@
+//! Exhaustive ECC pattern-class oracle.
+//!
+//! The fast syndrome-table decoder in `ses-mem` is the arbiter of every
+//! multi-bit campaign, so it is *proven* here rather than sampled: for
+//! each scheme and codeword geometry, every error pattern of weight ≤ 3
+//! is enumerated and its corrected/detected/miscorrected/undetected
+//! classification checked against [`RefDecoder`], an independent
+//! row-representation decoder that re-derives the correctable set from
+//! the scheme's geometry. A second battery asserts the textbook
+//! guarantees of each scheme directly, and a third closes the loop from
+//! codewords back to campaigns: the sampled residual DUE/SDC rates of an
+//! ECC-domain campaign must agree with the analytic residual model within
+//! binomial confidence bounds on multiple workloads.
+
+use ses_core::{
+    binomial_ci95, read_probability, run_ecc_campaign, Campaign, CampaignConfig, DetectionModel,
+    EccCampaignConfig, EccDomain, EccScheme, PatternDistribution, PipelineConfig, ResidualModel,
+    WorkloadSpec,
+};
+use ses_mem::{code_for, EccClass, WordVerdict};
+
+/// Every non-empty error mask of weight ≤ 3 over an `n`-bit codeword.
+fn patterns_up_to_weight_3(n: u32) -> Vec<u128> {
+    let mut v = Vec::new();
+    for a in 0..n {
+        v.push(1u128 << a);
+        for b in a + 1..n {
+            v.push(1u128 << a | 1u128 << b);
+            for c in b + 1..n {
+                v.push(1u128 << a | 1u128 << b | 1u128 << c);
+            }
+        }
+    }
+    v
+}
+
+/// The centerpiece: for every scheme and every codeword geometry the
+/// campaigns use, the fast decoder and the independent reference decoder
+/// classify every ≤3-bit error pattern identically, and the correctable
+/// set is well-formed (distinct non-zero syndromes).
+#[test]
+fn every_scheme_matches_the_reference_decoder_on_all_patterns_up_to_weight_3() {
+    for scheme in EccScheme::ALL {
+        for k in [16u32, 32, 64] {
+            let code = code_for(scheme, k);
+            let reference = code.reference();
+            assert!(
+                reference.syndromes_are_unique(),
+                "{scheme:?} k={k}: correctable syndromes must be distinct"
+            );
+            let mut counts = [0u64; 4];
+            for e in patterns_up_to_weight_3(code.n()) {
+                let fast = code.classify(e);
+                let slow = reference.classify(e);
+                assert_eq!(
+                    fast, slow,
+                    "{scheme:?} k={k}: pattern {e:#x} fast={fast:?} ref={slow:?}"
+                );
+                counts[match fast {
+                    EccClass::Corrected => 0,
+                    EccClass::Detected => 1,
+                    EccClass::Miscorrected => 2,
+                    EccClass::Undetected => 3,
+                }] += 1;
+            }
+            // The enumeration must actually exercise the decoder: every
+            // scheme classifies something, and no scheme corrects a
+            // pattern it has no table for.
+            let total: u64 = counts.iter().sum();
+            assert_eq!(total, u64::from(code.n() * (code.n() * code.n() + 5) / 6));
+            if scheme == EccScheme::None || scheme == EccScheme::Parity {
+                assert_eq!(counts[0], 0, "{scheme:?} corrects nothing");
+            } else {
+                assert!(counts[0] > 0, "{scheme:?} corrects something");
+            }
+        }
+    }
+}
+
+/// The textbook guarantee of each scheme, asserted directly over the
+/// production 64-data-bit geometry.
+#[test]
+fn scheme_guarantees_hold_over_the_full_codeword() {
+    // SEC and stronger correct every single-bit error.
+    for scheme in [
+        EccScheme::HammingSec,
+        EccScheme::SecDed,
+        EccScheme::Taec,
+        EccScheme::Dec,
+    ] {
+        let code = code_for(scheme, 64);
+        for p in 0..code.n() {
+            assert_eq!(
+                code.classify(1u128 << p),
+                EccClass::Corrected,
+                "{scheme:?}: single at {p}"
+            );
+        }
+    }
+    // SEC-DED detects every double — none correct, none silent.
+    let secded = code_for(EccScheme::SecDed, 64);
+    for a in 0..secded.n() {
+        for b in a + 1..secded.n() {
+            assert_eq!(
+                secded.classify(1u128 << a | 1u128 << b),
+                EccClass::Detected,
+                "SEC-DED double ({a},{b})"
+            );
+        }
+    }
+    // TAEC corrects every burst of length ≤ 3 inside the codeword.
+    let taec = code_for(EccScheme::Taec, 64);
+    for p in 0..taec.n() {
+        assert_eq!(taec.classify(1u128 << p), EccClass::Corrected);
+        if p + 1 < taec.n() {
+            assert_eq!(taec.classify(0b11u128 << p), EccClass::Corrected);
+        }
+        if p + 2 < taec.n() {
+            assert_eq!(taec.classify(0b111u128 << p), EccClass::Corrected);
+        }
+    }
+    // DEC corrects every double, adjacent or not.
+    let dec = code_for(EccScheme::Dec, 64);
+    for a in 0..dec.n() {
+        for b in a + 1..dec.n() {
+            assert_eq!(
+                dec.classify(1u128 << a | 1u128 << b),
+                EccClass::Corrected,
+                "DEC double ({a},{b})"
+            );
+        }
+    }
+    // Parity detects exactly the odd weights.
+    let parity = code_for(EccScheme::Parity, 64);
+    for e in patterns_up_to_weight_3(parity.n()) {
+        let expected = if e.count_ones() % 2 == 1 {
+            EccClass::Detected
+        } else {
+            EccClass::Undetected
+        };
+        assert_eq!(parity.classify(e), expected, "parity pattern {e:#x}");
+    }
+}
+
+/// A silent survivor is never invisible to the consumer: for data-only
+/// strikes, the decoder's residual `e ⊕ ê` is a non-zero codeword whose
+/// support cannot be confined to the (clean) check bits, so the effective
+/// data-word error of every miscorrection is non-empty.
+#[test]
+fn silent_survivors_always_leave_a_residual_in_the_data_word() {
+    for scheme in EccScheme::ALL {
+        let domain = EccDomain::new(scheme);
+        let code = code_for(scheme, 64);
+        let mut silent = 0u64;
+        for e in patterns_up_to_weight_3(64) {
+            let mask = e as u64;
+            if code.classify(code.data_error(mask)).is_silent() {
+                match domain.classify_word(mask) {
+                    WordVerdict::Silent { effective } => {
+                        assert_ne!(
+                            effective, 0,
+                            "{scheme:?}: strike {mask:#x} went silent with no residual"
+                        );
+                        silent += 1;
+                    }
+                    v => panic!("{scheme:?}: silent strike {mask:#x} classified {v:?}"),
+                }
+            }
+        }
+        if scheme == EccScheme::None {
+            assert_eq!(silent, 64 * (64 * 64 + 5) / 6, "unprotected: all silent");
+        }
+    }
+}
+
+/// Interleaving converts spatial bursts into per-codeword singles: under
+/// x2 (x4) interleave, every adjacent double (burst ≤ 4) is absorbed even
+/// by plain SEC.
+#[test]
+fn interleaving_absorbs_adjacent_bursts() {
+    let x2 = EccDomain::interleaved(EccScheme::HammingSec, 2);
+    for p in 0..63 {
+        assert_eq!(
+            x2.classify_word(0b11u64 << p),
+            WordVerdict::Corrected,
+            "x2 adjacent double at {p}"
+        );
+    }
+    let x4 = EccDomain::interleaved(EccScheme::HammingSec, 4);
+    for p in 0..61 {
+        assert_eq!(
+            x4.classify_word(0b1111u64 << p),
+            WordVerdict::Corrected,
+            "x4 burst of four at {p}"
+        );
+    }
+}
+
+/// Closes the loop from codeword algebra to sampled campaigns: because
+/// the pattern-class draw is independent of the struck coordinate, the
+/// campaign's DUE rate factors exactly into `P(read) × P(detected)`, and
+/// its SDC rate is bounded by `P(read) × P(silent)`. Both are checked on
+/// two workloads against the analytic residual model, within the shared
+/// binomial 95 % tolerance.
+#[test]
+fn sampled_residual_rates_agree_with_the_analytic_model() {
+    const N: u32 = 400;
+    for (name, wl_seed) in [("ecc-oracle-a", 11u64), ("ecc-oracle-b", 47)] {
+        let spec = WorkloadSpec::quick(name, wl_seed);
+        let campaign = Campaign::prepare(
+            &spec,
+            CampaignConfig {
+                injections: 0,
+                seed: 5,
+                detection: DetectionModel::None,
+                pipeline: PipelineConfig {
+                    iq_entries: 8,
+                    ..PipelineConfig::default()
+                },
+                ..CampaignConfig::default()
+            },
+        )
+        .expect("quick workload prepares");
+        let p_read = read_probability(&campaign, N, 0xBEEF ^ wl_seed);
+        assert!(p_read > 0.0, "{name}: some strikes must land on read words");
+        for scheme in [EccScheme::HammingSec, EccScheme::SecDed, EccScheme::Dec] {
+            let domain = EccDomain::new(scheme);
+            let cfg = EccCampaignConfig {
+                injections: N,
+                seed: 0xECC ^ wl_seed,
+                distribution: PatternDistribution::default(),
+                domain,
+            };
+            let report = run_ecc_campaign(&campaign, &cfg);
+            let analytic = ResidualModel::analytic(&cfg.distribution, &domain);
+            assert_eq!(report.analytic, analytic);
+
+            let expected_due = p_read * analytic.detected;
+            // Both factors are 400-sample estimates: allow each its own
+            // 95 % half-width.
+            let tol = binomial_ci95(expected_due.max(report.due_rate()), u64::from(N))
+                + analytic.detected * binomial_ci95(p_read, u64::from(N));
+            assert!(
+                (report.due_rate() - expected_due).abs() <= tol,
+                "{name}/{scheme:?}: DUE {:.4} vs analytic {expected_due:.4} (tol {tol:.4})",
+                report.due_rate()
+            );
+
+            // Silent survivors are SDC *candidates*: the measured SDC
+            // rate is bounded above by the silent residual mass.
+            let silent_cap = p_read * analytic.silent
+                + binomial_ci95(analytic.silent.max(report.sdc_rate()), u64::from(N));
+            assert!(
+                report.sdc_rate() <= silent_cap,
+                "{name}/{scheme:?}: SDC {:.4} exceeds silent cap {silent_cap:.4}",
+                report.sdc_rate()
+            );
+        }
+    }
+}

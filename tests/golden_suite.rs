@@ -77,3 +77,84 @@ fn perturbed_config_is_caught() {
         "perturbed run must change measured results, not just the config stanza"
     );
 }
+
+/// Rebuilds exactly what `ser-repro ecc-grid cc gzip --json ...` writes:
+/// measured read probabilities and IPCs for the two workloads, then the
+/// analytic node × environment × scheme residual grid.
+fn ecc_grid_rows(probes: u32, seed: u64) -> Vec<(String, f64, f64, u32)> {
+    use ses_core::{read_probability, Campaign, CampaignConfig, DetectionModel};
+    ["cc", "gzip"]
+        .iter()
+        .map(|name| {
+            let spec = spec_by_name(name).expect("workload in suite");
+            let campaign = Campaign::prepare(
+                &spec,
+                CampaignConfig {
+                    injections: 0,
+                    seed,
+                    detection: DetectionModel::None,
+                    ..CampaignConfig::default()
+                },
+            )
+            .expect("campaign prepares");
+            let p_read = read_probability(&campaign, probes, seed);
+            (name.to_string(), campaign.baseline_ipc(), p_read, probes)
+        })
+        .collect()
+}
+
+/// Satellite: the FIT/MTTF grid over (technology node × environment ×
+/// ECC scheme) for two workloads is pinned byte-for-byte. Any drift in
+/// the code constructions, the residual enumeration, the read-probability
+/// probe, or the FIT → MTTF conversion shows up here.
+#[test]
+fn ecc_grid_artifact_matches_golden() {
+    use ses_core::telemetry::ecc_grid_artifact;
+    use ses_core::PatternDistribution;
+    let rows = ecc_grid_rows(400, 0xECC);
+    let artifact =
+        ecc_grid_artifact(&PatternDistribution::default(), &rows, TelemetryLevel::Summary)
+            .render();
+    assert_eq!(
+        artifact,
+        golden("campaign_ecc.json"),
+        "ECC grid drifted from tests/golden/campaign_ecc.json; if intentional, \
+         regenerate with \
+         `cargo run --release -- ecc-grid cc gzip --json tests/golden/campaign_ecc.json`"
+    );
+}
+
+/// The grid comparison must be falsifiable in its *results*, not just its
+/// config stanza: perturbing the probe budget moves the measured read
+/// probability, and perturbing the strike distribution moves the analytic
+/// residual rates — both must change the pinned bytes.
+#[test]
+fn perturbed_ecc_grid_is_caught() {
+    use ses_core::telemetry::ecc_grid_artifact;
+    use ses_core::PatternDistribution;
+    let golden_text = golden("campaign_ecc.json");
+
+    let fewer_probes = ecc_grid_rows(100, 0xECC);
+    let perturbed =
+        ecc_grid_artifact(&PatternDistribution::default(), &fewer_probes, TelemetryLevel::Summary)
+            .render();
+    assert_ne!(
+        perturbed, golden_text,
+        "a different probe budget must move the measured read probability"
+    );
+
+    let rows = ecc_grid_rows(400, 0xECC);
+    let single_only =
+        ecc_grid_artifact(&PatternDistribution::single_only(), &rows, TelemetryLevel::Summary)
+            .render();
+    assert_ne!(
+        single_only, golden_text,
+        "a single-bit-only distribution must move the analytic residual rates"
+    );
+    // The multi-bit distribution is what gives SEC-DED a non-zero silent
+    // residual; prove the golden actually encodes that physics.
+    assert!(
+        golden_text.contains("\"read_probability\": 0.655,"),
+        "golden must pin the measured cc read probability"
+    );
+}

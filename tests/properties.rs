@@ -434,6 +434,7 @@ fn adaptive_exhaustive_agrees_with_census_on_small_program() {
                 ..AdaptiveConfig::default()
             },
             metric,
+            pattern: None,
         },
     );
     let report = session.run();
@@ -457,4 +458,123 @@ fn adaptive_exhaustive_agrees_with_census_on_small_program() {
         report.estimate.estimate
     );
     assert_eq!(report.estimate.halfwidth, 0.0);
+}
+
+/// The shared quick campaign for the spatial-strike properties below:
+/// prepared once, injected many times.
+fn ecc_prop_campaign() -> &'static ses_core::Campaign {
+    use std::sync::OnceLock;
+    use ses_core::{Campaign, CampaignConfig, DetectionModel};
+    static CAMPAIGN: OnceLock<Campaign> = OnceLock::new();
+    CAMPAIGN.get_or_init(|| {
+        Campaign::prepare(
+            &WorkloadSpec::quick("ecc-prop", 31),
+            CampaignConfig {
+                injections: 0,
+                seed: 3,
+                detection: DetectionModel::None,
+                pipeline: ses_core::PipelineConfig {
+                    iq_entries: 8,
+                    ..ses_core::PipelineConfig::default()
+                },
+                ..CampaignConfig::default()
+            },
+        )
+        .expect("ecc property campaign prepares")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Satellite: two spatial-strike invariants, end to end.
+    ///
+    /// *Permutation invariance* — a strike is a **set** of flipped bits:
+    /// folding the same bits into a mask in any of the 3! orders must
+    /// produce the same mask, the same domain verdict, and the same
+    /// injected pipeline outcome.
+    ///
+    /// *Weight monotonicity* — growing a strike never strengthens the
+    /// decoder's grip: along the subset chain single ⊂ adjacent-double ⊂
+    /// adjacent-triple (wrapping mod 64 like the generator), a superset
+    /// is never Corrected while its subset left a residual, and a
+    /// superset can only yield strictly fewer DUE+SDC events than its
+    /// subset by going Silent (a signalling decoder fires at the same
+    /// read regardless of which residual pattern tripped it).
+    #[test]
+    fn strike_outcome_is_permutation_invariant_and_weight_monotone(
+        anchor in 0u32..64,
+        perm in 0usize..6,
+        scheme_idx in 0usize..6,
+        interleave in prop_oneof![Just(1u32), Just(2), Just(4)],
+        coord_seed in any::<u64>(),
+    ) {
+        use ses_core::{splitmix64, EccDomain, EccScheme, Outcome, WordVerdict};
+        use ses_pipeline::{EccReadOutcome, FaultSpec};
+        use ses_types::Cycle;
+
+        let campaign = ecc_prop_campaign();
+        let domain = EccDomain::interleaved(EccScheme::ALL[scheme_idx], interleave);
+        let cycle = Cycle::new(splitmix64(coord_seed) % campaign.baseline_cycles().max(1));
+        let slot = (splitmix64(coord_seed ^ 1) % campaign.iq_entries() as u64) as usize;
+
+        // Classify through the domain and run the resulting verdict
+        // through the pipeline, exactly like the campaign layer does.
+        let outcome_of = |mask: u64| -> (WordVerdict, Outcome) {
+            let verdict = domain.classify_word(mask);
+            let outcome = match verdict {
+                WordVerdict::Corrected => Outcome::Benign,
+                WordVerdict::Signalled => campaign.inject_spec_quiet(FaultSpec::with_pattern(
+                    cycle,
+                    slot,
+                    mask,
+                    Some(EccReadOutcome::Signal),
+                )),
+                WordVerdict::Silent { effective } => {
+                    campaign.inject_spec_quiet(FaultSpec::with_pattern(
+                        cycle,
+                        slot,
+                        effective,
+                        Some(EccReadOutcome::Silent),
+                    ))
+                }
+            };
+            (verdict, outcome)
+        };
+
+        // Permutation invariance over the adjacent triple's bits.
+        let bits = [anchor, (anchor + 1) % 64, (anchor + 2) % 64];
+        let orders = [[0, 1, 2], [0, 2, 1], [1, 0, 2], [1, 2, 0], [2, 0, 1], [2, 1, 0]];
+        let sorted_mask = bits.iter().fold(0u64, |m, &b| m | 1 << b);
+        let permuted_mask = orders[perm].iter().fold(0u64, |m, &i| m ^ (1u64 << bits[i]));
+        prop_assert_eq!(sorted_mask, permuted_mask, "a strike is a set of bits");
+        prop_assert_eq!(outcome_of(sorted_mask), outcome_of(permuted_mask));
+
+        // Weight monotonicity along the anchored subset chain.
+        let chain = [
+            1u64 << anchor,
+            1 << anchor | 1 << ((anchor + 1) % 64),
+            sorted_mask,
+        ];
+        let results: Vec<(WordVerdict, Outcome)> =
+            chain.iter().map(|&m| outcome_of(m)).collect();
+        for pair in results.windows(2) {
+            let (sub_verdict, sub_outcome) = pair[0];
+            let (sup_verdict, sup_outcome) = pair[1];
+            prop_assert!(
+                !(sub_verdict != WordVerdict::Corrected && sup_verdict == WordVerdict::Corrected),
+                "superset absorbed while subset left a residual: {:?} -> {:?}",
+                sub_verdict,
+                sup_verdict
+            );
+            if sub_outcome.is_failure() && !sup_outcome.is_failure() {
+                prop_assert!(
+                    matches!(sup_verdict, WordVerdict::Silent { .. }),
+                    "superset dropped a {:?} event without going silent ({:?})",
+                    sub_outcome,
+                    sup_verdict
+                );
+            }
+        }
+    }
 }

@@ -158,3 +158,76 @@ fn squash_and_throttle_trade_ipc_for_mitf_on_corpus_programs() {
         }
     }
 }
+
+#[test]
+fn ecc_buys_residual_coverage_with_area_instead_of_ipc() {
+    // Tentpole trade entry: the exposure-reduction techniques (squash,
+    // throttle) pay IPC — and therefore MITF — for lower AVF, while an
+    // ECC domain pays *check bits* (area) and leaves the pipeline
+    // untouched. This pins both axes of that trade:
+    //
+    //  * check-bit cost is strictly ordered SEC < SEC-DED ≤ TAEC < DEC;
+    //  * residual silent (SDC-candidate) mass under the spatial strike
+    //    distribution is ordered the opposite way — each extra check bit
+    //    buys coverage: SEC > SEC-DED > TAEC > DEC, with parity and the
+    //    unprotected domain worse than all of them;
+    //  * on a real workload, ECC improves the SDC MITF without moving
+    //    IPC at all, whereas squashing moves IPC to get its gain.
+    use ses_core::{
+        EccDomain, EccScheme, PatternDistribution, ReliabilityModel, ResidualModel,
+    };
+    use ses_types::Avf;
+
+    let dist = PatternDistribution::default();
+    let domain = |s| EccDomain::new(s);
+    let silent = |s| ResidualModel::analytic(&dist, &domain(s)).silent;
+
+    // Area cost ordering (check bits per 64-bit word).
+    let bits = |s: EccScheme| domain(s).check_bits();
+    assert!(bits(EccScheme::HammingSec) < bits(EccScheme::SecDed));
+    assert!(bits(EccScheme::SecDed) <= bits(EccScheme::Taec));
+    assert!(bits(EccScheme::Taec) < bits(EccScheme::Dec));
+
+    // Coverage ordering: silent residual mass strictly shrinks as check
+    // bits grow across the correcting schemes.
+    assert!(silent(EccScheme::None) > silent(EccScheme::HammingSec));
+    assert!(silent(EccScheme::HammingSec) > silent(EccScheme::SecDed));
+    assert!(silent(EccScheme::SecDed) > silent(EccScheme::Taec));
+    assert!(silent(EccScheme::Taec) > silent(EccScheme::Dec));
+
+    // The miscorrection hazard, pinned: under a multi-bit strike mix,
+    // plain SEC carries *more* silent mass than detect-only parity —
+    // every aliased double is "corrected" into a three-bit residual
+    // instead of being flagged. Correction without double-detection is a
+    // net SDC regression; this is why real parts ship SEC-DED.
+    assert!(silent(EccScheme::HammingSec) > silent(EccScheme::Parity));
+
+    // ECC versus squash on a real workload: same raw-rate model, same
+    // structure. ECC derates the SDC AVF by the silent fraction at zero
+    // IPC cost; squashing pays cycles for its AVF cut.
+    let spec = spec_by_name("cc").expect("cc in suite");
+    let base = run_workload(&spec, &PipelineConfig::default()).unwrap();
+    let squashed = run_workload(&spec, &PipelineConfig::default().with_squash(Level::L1)).unwrap();
+    let model = ReliabilityModel::default();
+    let base_rate = model.rate(base.result.ipc(), base.avf.sdc_avf());
+
+    let ecc_avf = base.avf.sdc_avf().fraction() * silent(EccScheme::SecDed);
+    let ecc_rate = model.rate(base.result.ipc(), Avf::from_fraction(ecc_avf));
+    let squash_rate = model.rate(squashed.result.ipc(), squashed.avf.sdc_avf());
+
+    assert!(
+        squashed.result.ipc().value() < base.result.ipc().value(),
+        "squashing pays IPC for its AVF cut"
+    );
+    assert!(
+        ecc_rate.mitf.instructions() > base_rate.mitf.instructions(),
+        "ECC must raise the SDC MITF"
+    );
+    assert!(
+        ecc_rate.mitf.instructions() > squash_rate.mitf.instructions(),
+        "at the paper's strike mix, SEC-DED's 50x residual cut dwarfs \
+         what exposure reduction can buy ({:.3e} vs {:.3e})",
+        ecc_rate.mitf.instructions(),
+        squash_rate.mitf.instructions()
+    );
+}
