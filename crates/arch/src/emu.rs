@@ -33,6 +33,48 @@ struct StepEffect {
     halt: bool,
 }
 
+/// A point-in-time copy of the architectural machine: registers,
+/// predicates, PC, data memory, call depth, and dynamic-instruction index.
+///
+/// Snapshots support the idempotent-region recovery model: capture the
+/// machine mid-run, rewind the PC to a region entry, and re-execute the
+/// region prefix to prove (or disprove) that re-execution is
+/// side-effect-free. The output stream is deliberately *not* part of the
+/// snapshot — a resumed machine starts with an empty stream so re-emitted
+/// values can be compared against the original records.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MachineSnapshot {
+    state: ArchState,
+    mem: DataMemory,
+    depth: u32,
+    index: u64,
+}
+
+impl MachineSnapshot {
+    /// The architectural register state (registers, predicates, PC).
+    pub fn state(&self) -> &ArchState {
+        &self.state
+    }
+
+    /// The data memory image.
+    pub fn mem(&self) -> &DataMemory {
+        &self.mem
+    }
+
+    /// The dynamic-instruction index the machine had reached.
+    pub fn index(&self) -> u64 {
+        self.index
+    }
+
+    /// Whether two snapshots agree on every *recoverable* component:
+    /// registers, predicates, PC, and data memory. Call depth and dynamic
+    /// index are bookkeeping, not architectural state, and are excluded —
+    /// re-executing a region legitimately advances both.
+    pub fn same_arch_state(&self, other: &MachineSnapshot) -> bool {
+        self.state == other.state && self.mem == other.mem
+    }
+}
+
 /// Architectural emulator for one program.
 ///
 /// See the [crate-level documentation](crate) for an example.
@@ -144,6 +186,33 @@ impl<'p> Emulator<'p> {
             steps += 1;
         }
         RunOutcome::TimedOut
+    }
+
+    /// Captures the current architectural state as a [`MachineSnapshot`].
+    pub(crate) fn snapshot(&self) -> MachineSnapshot {
+        MachineSnapshot {
+            state: self.state.clone(),
+            mem: self.mem.clone(),
+            depth: self.depth,
+            index: self.index,
+        }
+    }
+
+    /// Rebuilds an emulator from a snapshot, with an empty output stream.
+    pub(crate) fn from_snapshot(program: &'p Program, snap: MachineSnapshot) -> Self {
+        Emulator {
+            program,
+            state: snap.state,
+            mem: snap.mem,
+            output: Vec::new(),
+            depth: snap.depth,
+            index: snap.index,
+        }
+    }
+
+    /// Overrides the program counter (region re-execution rewinds here).
+    pub(crate) fn set_pc(&mut self, pc: Addr) {
+        self.state.set_pc(pc);
     }
 
     /// Executes exactly one instruction, returning its record and whether

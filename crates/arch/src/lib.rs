@@ -44,7 +44,7 @@ mod state;
 mod stepper;
 mod trace;
 
-pub use emu::{Emulator, RunOutcome};
+pub use emu::{Emulator, MachineSnapshot, RunOutcome};
 pub use stepper::Stepper;
 pub use memory::DataMemory;
 pub use state::ArchState;

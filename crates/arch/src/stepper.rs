@@ -8,7 +8,7 @@
 use ses_isa::Program;
 use ses_types::{Addr, SesError};
 
-use crate::emu::Emulator;
+use crate::emu::{Emulator, MachineSnapshot};
 use crate::trace::DynInstr;
 
 /// One-at-a-time emulation of a program.
@@ -46,6 +46,28 @@ impl<'p> Stepper<'p> {
             inner: Emulator::new(program),
             halted: false,
         }
+    }
+
+    /// Creates a stepper resuming from a captured machine snapshot. The
+    /// output stream starts empty; emitted values appear in the stepped
+    /// [`DynInstr`] records.
+    pub fn from_snapshot(program: &'p Program, snap: MachineSnapshot) -> Self {
+        Stepper {
+            inner: Emulator::from_snapshot(program, snap),
+            halted: false,
+        }
+    }
+
+    /// Captures the machine state before the next instruction executes.
+    pub fn snapshot(&self) -> MachineSnapshot {
+        self.inner.snapshot()
+    }
+
+    /// Rewinds (or fast-forwards) the program counter. This is the region
+    /// re-execution primitive: restore a snapshot, point the PC at the
+    /// region entry, and step the region body again.
+    pub fn set_pc(&mut self, pc: Addr) {
+        self.inner.set_pc(pc);
     }
 
     /// Executes one instruction, returning its record, or `None` once the

@@ -40,9 +40,11 @@ mod avf;
 mod dead;
 pub mod exhaustive;
 mod regfile;
+pub mod region;
 pub mod span;
 
 pub use ace::{classify, FalseDueCause, ResidencyBits};
+pub use region::{BoundaryKind, Region, RegionFault, RegionMap};
 pub use avf::{
     AvfAnalysis, BitCycleDecomposition, KindAvf, StateFractions, Technique, TimelinePoint,
 };

@@ -39,14 +39,15 @@ pub use suite_runner::{for_each_workload, run_suite, run_suite_with};
 // Re-export the vocabulary a downstream user needs, so `ses-core` is a
 // one-stop dependency.
 pub use ses_avf::{
-    AvfAnalysis, DeadKind, DeadMap, FalseDueCause, KindAvf, RegFileAvf, StateFractions,
-    Technique, TimelinePoint,
+    AvfAnalysis, BoundaryKind, DeadKind, DeadMap, FalseDueCause, KindAvf, RegFileAvf, Region,
+    RegionFault, RegionMap, StateFractions, Technique, TimelinePoint,
 };
 pub use ses_faults::{
     build_strata, build_strata_with, class_instances, mask_for_class, read_probability,
     run_ecc_campaign, AdaptiveCampaignConfig, AdaptiveCampaignReport, AdaptiveSession, Campaign,
     CampaignConfig, CampaignPerf, CampaignReport, DetailedReport, EccCampaignConfig,
-    EccCampaignReport, MetricKind, Outcome, PatternDistribution, PatternModel, ResidualModel,
+    EccCampaignReport, LatencyDistribution, MetricKind, Outcome, PatternDistribution,
+    PatternModel, RecoveryDecision, RecoveryPolicy, RecoveryReport, ResidualModel,
     StratumReport, StrikePattern, UniformRun,
 };
 pub use ses_sampler::{

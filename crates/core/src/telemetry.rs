@@ -220,23 +220,44 @@ pub fn run_artifact(
 /// The fault-injection campaign artifact. Summary level contains only
 /// thread-count-invariant quantities; `Full` adds wall-clock timings and
 /// the scheduling-dependent replay cache-hit counter.
+///
+/// The `recovery` stanza (and the `recovered` outcome key) appear only
+/// when the campaign ran with the idempotent-recovery policy — legacy
+/// (recovery-off) artifacts stay byte-identical.
 pub fn campaign_artifact(
     workload: &str,
     report: &DetailedReport,
     iq_entries: usize,
     level: TelemetryLevel,
 ) -> JsonValue {
+    let recovery = report.recovery();
     let summary = report.summary();
     let mut doc = header("campaign", level);
     doc.set("workload", workload)
         .set("injections", summary.total());
     let mut outcomes = JsonValue::object();
     for o in Outcome::ALL {
+        if o == Outcome::Recovered && recovery.is_none() {
+            continue;
+        }
         outcomes.set(o.label(), summary.count(o));
     }
     doc.set("outcomes", outcomes);
     doc.set("sdc_avf_estimate", summary.sdc_avf_estimate())
         .set("due_avf_estimate", summary.due_avf_estimate());
+    if let Some(rec) = recovery {
+        let mut r = JsonValue::object();
+        r.set("recovered", rec.recovered)
+            .set("fallback_due", rec.fallback_due)
+            .set("reexec_instructions", rec.reexec_instructions)
+            .set("latency_cycles", rec.latency_cycles)
+            .set("regions", rec.regions)
+            .set("mean_region_len", rec.mean_region_len)
+            .set("recovered_fraction", rec.recovered_fraction())
+            .set("mean_reexec_instructions", rec.mean_reexec_instructions())
+            .set("mean_latency_cycles", rec.mean_latency_cycles());
+        doc.set("recovery", r);
+    }
     let kinds: Vec<JsonValue> = report
         .failure_rate_by_bit_kind()
         .iter()
@@ -476,6 +497,11 @@ pub fn ecc_campaign_artifact(
     let summary = &report.outcomes;
     let mut outcomes = JsonValue::object();
     for o in Outcome::ALL {
+        // ECC campaigns have no recovery policy, so the `recovered` key
+        // never appears and existing artifacts stay byte-identical.
+        if o == Outcome::Recovered {
+            continue;
+        }
         outcomes.set(o.label(), summary.count(o));
     }
     doc.set("outcomes", outcomes);

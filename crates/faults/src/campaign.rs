@@ -26,6 +26,9 @@ use ses_types::{Cycle, SesError};
 use ses_workloads::{synthesize, WorkloadSpec};
 
 use crate::outcome::Outcome;
+use crate::recovery::{
+    LatencyDistribution, RecoveryCounters, RecoveryDecision, RecoveryPolicy, RecoveryReport,
+};
 use crate::report::{CampaignPerf, CampaignReport};
 
 /// Configuration of a fault-injection campaign.
@@ -61,6 +64,14 @@ pub struct CampaignConfig {
     pub pipeline: PipelineConfig,
     /// Worker threads (0 = one per available core).
     pub threads: usize,
+    /// Detection-signal latency model. `None` (default) keeps the paper's
+    /// instantaneous machine check; with a distribution, each detected
+    /// fault's signal is deferred by a deterministically sampled latency.
+    pub detect_latency: Option<LatencyDistribution>,
+    /// What a detected fault becomes: the legacy machine-check DUE, or an
+    /// idempotent-region re-execution when the deferred signal still lands
+    /// inside the fault's region.
+    pub recovery: RecoveryPolicy,
 }
 
 impl Default for CampaignConfig {
@@ -74,6 +85,8 @@ impl Default for CampaignConfig {
             checkpoint_interval: None,
             pipeline: PipelineConfig::default(),
             threads: 0,
+            detect_latency: None,
+            recovery: RecoveryPolicy::MachineCheck,
         }
     }
 }
@@ -168,6 +181,10 @@ pub struct Campaign {
     prepare_wall: Duration,
     replay_cache: ReplayCache,
     counters: PerfCounters,
+    /// Idempotent-region partition of the golden trace, computed only when
+    /// the recovery policy is [`RecoveryPolicy::Idempotent`].
+    regions: Option<ses_avf::RegionMap>,
+    recovery_counters: RecoveryCounters,
     config: CampaignConfig,
 }
 
@@ -226,6 +243,10 @@ impl Campaign {
             }
         };
         let replay_budget = (golden.len() as u64).saturating_mul(4).max(10_000);
+        let regions = match config.recovery {
+            RecoveryPolicy::Idempotent => Some(ses_avf::RegionMap::analyze(&golden)),
+            RecoveryPolicy::MachineCheck => None,
+        };
         Ok(Campaign {
             baseline_cycles: baseline.cycles,
             lifetime_spans: ses_avf::lifetime_spans(&baseline),
@@ -239,6 +260,8 @@ impl Campaign {
             prepare_wall: start.elapsed(),
             replay_cache: ReplayCache::new(),
             counters: PerfCounters::default(),
+            regions,
+            recovery_counters: RecoveryCounters::default(),
             config,
         })
     }
@@ -268,7 +291,7 @@ impl Campaign {
     /// are aggregated in injection-index order regardless of thread
     /// scheduling, and the report carries [`CampaignPerf`] accounting.
     pub fn run(&self) -> CampaignReport {
-        let (outcomes, perf) = self.timed_run(|i| self.inject_one(i));
+        let (outcomes, perf, _) = self.timed_run(|i| self.inject_one(i));
         let mut report = CampaignReport::from_outcomes(outcomes);
         report.set_perf(perf);
         report
@@ -279,18 +302,40 @@ impl Campaign {
     /// carry the vulnerability). Parallelised like [`Campaign::run`],
     /// with samples in deterministic injection-index order.
     pub fn run_detailed(&self) -> DetailedReport {
-        let (samples, perf) = self.timed_run(|i| (self.fault_for(i), self.inject_one(i)));
-        DetailedReport { samples, perf }
+        let (samples, perf, recovery) =
+            self.timed_run(|i| (self.fault_for(i), self.inject_one(i)));
+        DetailedReport {
+            samples,
+            perf,
+            recovery,
+        }
     }
 
     /// Times the injection phase of a campaign execution and attributes
-    /// the counter deltas it produced.
-    fn timed_run<T: Send>(&self, f: impl Fn(u32) -> T + Sync) -> (Vec<T>, CampaignPerf) {
+    /// the counter deltas it produced (performance always, recovery
+    /// accounting when the recovery policy is active).
+    fn timed_run<T: Send>(
+        &self,
+        f: impl Fn(u32) -> T + Sync,
+    ) -> (Vec<T>, CampaignPerf, Option<RecoveryReport>) {
         let before = self.counters.values();
+        let rec_before = self.recovery_counters.values();
         let start = Instant::now();
         let results = self.parallel_map(self.config.injections, f);
         let inject_wall = start.elapsed();
         let after = self.counters.values();
+        let recovery = self.regions.as_ref().map(|regions| {
+            let rec_after = self.recovery_counters.values();
+            RecoveryReport {
+                recovered: rec_after.recovered - rec_before.recovered,
+                fallback_due: rec_after.fallback_due - rec_before.fallback_due,
+                reexec_instructions: rec_after.reexec_instructions
+                    - rec_before.reexec_instructions,
+                latency_cycles: rec_after.latency_cycles - rec_before.latency_cycles,
+                regions: regions.len() as u32,
+                mean_region_len: regions.mean_len(),
+            }
+        });
         let perf = CampaignPerf {
             prepare_wall: self.prepare_wall,
             inject_wall,
@@ -303,7 +348,7 @@ impl Campaign {
             replay_cache_hits: after.replay_cache_hits - before.replay_cache_hits,
             replay_fast_path: after.replay_fast_path - before.replay_fast_path,
         };
-        (results, perf)
+        (results, perf, recovery)
     }
 
     /// Maps `f` over `0..n` on the configured worker threads, returning
@@ -370,13 +415,13 @@ impl Campaign {
         // In debug/test builds, periodically cross-check a resumed run
         // against a from-scratch run (the checkpoint determinism guard).
         let verify = cfg!(debug_assertions) && i.is_multiple_of(8);
-        self.classify(self.fault_outcome(fault, verify))
+        self.classify(&fault, self.fault_outcome(fault, verify))
     }
 
     /// Injects a caller-chosen fault instead of the seeded sequence,
     /// classified exactly like [`Campaign::inject_one`].
     pub fn inject_spec(&self, fault: FaultSpec) -> Outcome {
-        self.classify(self.fault_outcome(fault, cfg!(debug_assertions)))
+        self.classify(&fault, self.fault_outcome(fault, cfg!(debug_assertions)))
     }
 
     /// Like [`Campaign::inject_spec`] but without the debug-build
@@ -384,7 +429,7 @@ impl Campaign {
     /// adaptive scheduler's exhaustive strata, property tests) that
     /// verify a deterministic subsample themselves.
     pub fn inject_spec_quiet(&self, fault: FaultSpec) -> Outcome {
-        self.classify(self.fault_outcome(fault, false))
+        self.classify(&fault, self.fault_outcome(fault, false))
     }
 
     /// Fault-free IPC of the golden timing run (committed instructions
@@ -395,6 +440,97 @@ impl Campaign {
             0.0
         } else {
             self.golden.len() as f64 / self.baseline_cycles as f64
+        }
+    }
+
+    /// The idempotent-region partition of the golden trace, present when
+    /// the recovery policy is [`RecoveryPolicy::Idempotent`].
+    pub fn regions(&self) -> Option<&ses_avf::RegionMap> {
+        self.regions.as_ref()
+    }
+
+    /// Cumulative recovery accounting since prepare, present when the
+    /// recovery policy is active. [`DetailedReport::recovery`] carries the
+    /// per-execution delta instead.
+    pub fn recovery_report(&self) -> Option<RecoveryReport> {
+        let regions = self.regions.as_ref()?;
+        let v = self.recovery_counters.values();
+        Some(RecoveryReport {
+            recovered: v.recovered,
+            fallback_due: v.fallback_due,
+            reexec_instructions: v.reexec_instructions,
+            latency_cycles: v.latency_cycles,
+            regions: regions.len() as u32,
+            mean_region_len: regions.mean_len(),
+        })
+    }
+
+    /// The detection latency (in cycles) the configured distribution
+    /// assigns to `fault`, a pure function of the campaign seed and the
+    /// fault coordinates so results are schedule-independent. Zero when no
+    /// latency model is configured (the paper's instantaneous detector).
+    pub fn latency_for(&self, fault: &FaultSpec) -> u64 {
+        match &self.config.detect_latency {
+            None => 0,
+            Some(dist) => dist.sample(latency_seed(self.config.seed, fault)),
+        }
+    }
+
+    /// How the recovery policy resolves a *detected* fault on `occupant`,
+    /// or `None` when the policy is [`RecoveryPolicy::MachineCheck`].
+    ///
+    /// The deferred detection signal lands `latency` cycles after the
+    /// corrupted word is read, i.e. `ceil(latency × IPC)` committed
+    /// instructions downstream. If that signal position is still inside
+    /// the idempotent region containing the fault, the machine rewinds to
+    /// the region entry and re-executes the committed prefix (`signal −
+    /// region start` instructions, the charged IPC loss); the trailing
+    /// live-in clobber that closes a region sits at `end − 1` and has not
+    /// committed while the signal is in-region, so the replayed window
+    /// never includes it. A signal that escapes the region — or outlives
+    /// the trace — falls back to the machine-check DUE. Wrong-path
+    /// corruptions recover by the flush that discards them; their charge
+    /// is the latency's worth of committed work.
+    pub fn recovery_decision(
+        &self,
+        fault: &FaultSpec,
+        occupant: Occupant,
+    ) -> Option<RecoveryDecision> {
+        let regions = self.regions.as_ref()?;
+        let latency_cycles = self.latency_for(fault);
+        let delay_instructions = (latency_cycles as f64 * self.baseline_ipc()).ceil() as u64;
+        match occupant {
+            Occupant::WrongPath => Some(RecoveryDecision {
+                latency_cycles,
+                delay_instructions,
+                fault_index: None,
+                region: None,
+                recovered: true,
+                reexec_instructions: delay_instructions,
+            }),
+            Occupant::CorrectPath { trace_idx } => {
+                let signal = trace_idx + delay_instructions;
+                let at_fault = regions.region_of(trace_idx);
+                let at_signal = regions.region_of(signal);
+                let region = at_fault.map(|i| {
+                    let r = &regions.regions()[i];
+                    (r.start, r.end)
+                });
+                let recovered = at_fault.is_some() && at_fault == at_signal;
+                let reexec_instructions = if recovered {
+                    signal - region.expect("recovered fault has a region").0
+                } else {
+                    0
+                };
+                Some(RecoveryDecision {
+                    latency_cycles,
+                    delay_instructions,
+                    fault_index: Some(trace_idx),
+                    region,
+                    recovered,
+                    reexec_instructions,
+                })
+            }
         }
     }
 
@@ -496,7 +632,7 @@ impl Campaign {
         idx.checked_sub(1).map(|i| &self.snapshots[i])
     }
 
-    fn classify(&self, outcome: FaultOutcome) -> Outcome {
+    fn classify(&self, fault: &FaultSpec, outcome: FaultOutcome) -> Outcome {
         match outcome {
             FaultOutcome::SlotIdle | FaultOutcome::NeverRead { .. } => Outcome::Benign,
             FaultOutcome::CorruptIssued { corruption } => match corruption.occupant {
@@ -509,16 +645,26 @@ impl Campaign {
                     }
                 }
             },
-            FaultOutcome::Signalled { corruption, .. } => match corruption.occupant {
-                // A wrong-path corruption can never affect output.
-                Occupant::WrongPath => Outcome::FalseDue,
-                Occupant::CorrectPath { trace_idx } => {
-                    match self.replay(trace_idx, corruption.corrupted_word) {
-                        Replay::Identical => Outcome::FalseDue,
-                        Replay::Different | Replay::Crashed | Replay::Hang => Outcome::TrueDue,
+            FaultOutcome::Signalled { corruption, .. } => {
+                if let Some(decision) = self.recovery_decision(fault, corruption.occupant) {
+                    self.recovery_counters.record(&decision);
+                    if decision.recovered {
+                        return Outcome::Recovered;
+                    }
+                    // The deferred signal escaped the fault's region:
+                    // fall back to the machine-check DUE below.
+                }
+                match corruption.occupant {
+                    // A wrong-path corruption can never affect output.
+                    Occupant::WrongPath => Outcome::FalseDue,
+                    Occupant::CorrectPath { trace_idx } => {
+                        match self.replay(trace_idx, corruption.corrupted_word) {
+                            Replay::Identical => Outcome::FalseDue,
+                            Replay::Different | Replay::Crashed | Replay::Hang => Outcome::TrueDue,
+                        }
                     }
                 }
-            },
+            }
             FaultOutcome::Suppressed { reason, corruption } => match (reason, corruption.occupant)
             {
                 // Discarded before commit: architecturally clean.
@@ -573,6 +719,21 @@ impl Campaign {
     }
 }
 
+/// Mixes the campaign seed with one fault's strike coordinates into the
+/// latency-sampling seed (a splitmix64-style finalizer, so neighbouring
+/// coordinates get decorrelated latencies).
+fn latency_seed(seed: u64, fault: &FaultSpec) -> u64 {
+    let mut x = seed
+        ^ fault.cycle.as_u64().wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ (fault.slot as u64).wrapping_mul(0xC2B2_AE3D_27D4_EB4F)
+        ^ u64::from(fault.bit).wrapping_mul(0x1656_67B1_9E37_79F9);
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
 /// Result of a uniform run-to-target-CI campaign
 /// ([`Campaign::run_uniform_to_target`]).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -592,6 +753,7 @@ pub struct UniformRun {
 pub struct DetailedReport {
     samples: Vec<(FaultSpec, Outcome)>,
     perf: CampaignPerf,
+    recovery: Option<RecoveryReport>,
 }
 
 impl DetailedReport {
@@ -603,6 +765,12 @@ impl DetailedReport {
     /// Performance accounting for the run that produced these samples.
     pub fn perf(&self) -> CampaignPerf {
         self.perf
+    }
+
+    /// Recovery accounting for this execution, present only when the
+    /// campaign ran with [`RecoveryPolicy::Idempotent`].
+    pub fn recovery(&self) -> Option<&RecoveryReport> {
+        self.recovery.as_ref()
     }
 
     /// Collapses into a plain [`CampaignReport`].
@@ -858,6 +1026,134 @@ mod tests {
         assert_eq!(scratch_report, ckpt_report);
         assert_eq!(scratch_report.perf().cycles_skipped, 0);
         assert!(ckpt_report.perf().cycles_skipped > 0);
+    }
+
+    #[test]
+    fn zero_latency_recovery_converts_every_due() {
+        let spec = WorkloadSpec::quick("recovery-zero", 17);
+        let base = CampaignConfig {
+            injections: 120,
+            seed: 23,
+            detection: DetectionModel::Parity { tracking: None },
+            threads: 2,
+            ..CampaignConfig::default()
+        };
+        let legacy = Campaign::prepare(&spec, base.clone()).unwrap().run();
+        let recovering = Campaign::prepare(
+            &spec,
+            CampaignConfig {
+                detect_latency: Some(LatencyDistribution::Fixed(0)),
+                recovery: RecoveryPolicy::Idempotent,
+                ..base
+            },
+        )
+        .unwrap();
+        let detailed = recovering.run_detailed();
+        let report = detailed.summary();
+        let baseline_due = legacy.count(Outcome::FalseDue) + legacy.count(Outcome::TrueDue);
+        assert!(baseline_due > 0, "campaign must detect something");
+        assert_eq!(
+            report.count(Outcome::Recovered),
+            baseline_due,
+            "a zero-latency signal always lands in the fault's own region"
+        );
+        assert_eq!(report.count(Outcome::FalseDue), 0);
+        assert_eq!(report.count(Outcome::TrueDue), 0);
+        let rec = detailed.recovery().expect("recovery stanza present");
+        assert_eq!(rec.recovered, baseline_due);
+        assert_eq!(rec.fallback_due, 0);
+        assert!(rec.regions > 0);
+        assert!(rec.mean_region_len > 0.0);
+    }
+
+    #[test]
+    fn recovered_plus_fallback_equals_baseline_due_at_any_latency() {
+        let spec = WorkloadSpec::quick("recovery-consv", 41);
+        let base = CampaignConfig {
+            injections: 150,
+            seed: 31,
+            detection: DetectionModel::Parity { tracking: None },
+            threads: 2,
+            ..CampaignConfig::default()
+        };
+        let legacy = Campaign::prepare(&spec, base.clone()).unwrap().run();
+        let baseline_due = legacy.count(Outcome::FalseDue) + legacy.count(Outcome::TrueDue);
+        for latency in [LatencyDistribution::Fixed(40), LatencyDistribution::Geometric { mean: 25.0 }] {
+            let detailed = Campaign::prepare(
+                &spec,
+                CampaignConfig {
+                    detect_latency: Some(latency),
+                    recovery: RecoveryPolicy::Idempotent,
+                    ..base.clone()
+                },
+            )
+            .unwrap()
+            .run_detailed();
+            let report = detailed.summary();
+            let due = report.count(Outcome::FalseDue) + report.count(Outcome::TrueDue);
+            assert_eq!(
+                report.count(Outcome::Recovered) + due,
+                baseline_due,
+                "recovery only reroutes detected faults, it never invents or loses them"
+            );
+            let rec = detailed.recovery().unwrap();
+            assert_eq!(rec.recovered, report.count(Outcome::Recovered));
+            assert_eq!(rec.fallback_due, due);
+        }
+    }
+
+    #[test]
+    fn recovery_decisions_are_monotone_in_fixed_latency() {
+        let spec = WorkloadSpec::quick("recovery-mono", 9);
+        let prepare = |latency: u64| {
+            Campaign::prepare(
+                &spec,
+                CampaignConfig {
+                    injections: 60,
+                    seed: 13,
+                    detection: DetectionModel::Parity { tracking: None },
+                    detect_latency: Some(LatencyDistribution::Fixed(latency)),
+                    recovery: RecoveryPolicy::Idempotent,
+                    threads: 1,
+                    ..CampaignConfig::default()
+                },
+            )
+            .unwrap()
+        };
+        let ladder: Vec<Campaign> = [0u64, 10, 40, 160].iter().map(|&l| prepare(l)).collect();
+        let mut saw_recovered = false;
+        let mut saw_transition = false;
+        for idx in 0..4096u64 {
+            // Walk the golden trace positions as synthetic correct-path
+            // detections at an arbitrary strike coordinate.
+            if idx >= ladder[0].golden().len() as u64 {
+                break;
+            }
+            let fault = ladder[0].fault_for((idx % 60) as u32);
+            let occupant = Occupant::CorrectPath { trace_idx: idx };
+            let mut prev_recovered = true;
+            let mut prev_charge = 0u64;
+            for c in &ladder {
+                let d = c.recovery_decision(&fault, occupant).unwrap();
+                if d.recovered {
+                    assert!(
+                        prev_recovered,
+                        "once the signal escapes the region, longer latencies cannot re-enter it"
+                    );
+                    assert!(
+                        d.reexec_instructions >= prev_charge,
+                        "re-execution charge grows with latency"
+                    );
+                    prev_charge = d.reexec_instructions;
+                    saw_recovered = true;
+                } else if prev_recovered {
+                    saw_transition = true;
+                }
+                prev_recovered = d.recovered;
+            }
+        }
+        assert!(saw_recovered, "some positions must recover");
+        assert!(saw_transition, "some positions must fall back at high latency");
     }
 
     #[test]

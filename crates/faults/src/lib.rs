@@ -48,6 +48,7 @@ mod campaign;
 mod ecc_campaign;
 mod outcome;
 mod pattern;
+mod recovery;
 mod report;
 
 pub use adaptive::{
@@ -60,4 +61,5 @@ pub use outcome::Outcome;
 pub use pattern::{
     class_instances, mask_for_class, PatternDistribution, ResidualModel, StrikePattern,
 };
+pub use recovery::{LatencyDistribution, RecoveryDecision, RecoveryPolicy, RecoveryReport};
 pub use report::{CampaignPerf, CampaignReport};

@@ -29,11 +29,17 @@ pub enum Outcome {
     /// The faulty run exceeded its instruction budget (a corrupted branch
     /// spun forever): treated as a visible failure.
     Hang,
+    /// A machine check fired, but the deferred detection signal still
+    /// landed inside the idempotent region containing the fault, so the
+    /// would-be DUE was converted into a re-execution of that region —
+    /// charged as IPC loss, not as an error event.
+    Recovered,
 }
 
 impl Outcome {
-    /// All outcomes, in reporting order.
-    pub const ALL: [Outcome; 7] = [
+    /// All outcomes, in reporting order. `Recovered` sits last so legacy
+    /// (recovery-off) artifacts keep their historical key order.
+    pub const ALL: [Outcome; 8] = [
         Outcome::Benign,
         Outcome::Sdc,
         Outcome::FalseDue,
@@ -41,6 +47,7 @@ impl Outcome {
         Outcome::SuppressedSafe,
         Outcome::SuppressedSdc,
         Outcome::Hang,
+        Outcome::Recovered,
     ];
 
     /// Whether this outcome represents a user-visible failure event
@@ -67,6 +74,7 @@ impl Outcome {
             Outcome::SuppressedSafe => "suppressed (safe)",
             Outcome::SuppressedSdc => "suppressed (SDC!)",
             Outcome::Hang => "hang",
+            Outcome::Recovered => "recovered",
         }
     }
 }
@@ -99,5 +107,9 @@ mod tests {
         assert!(Outcome::FalseDue.is_due());
         assert!(Outcome::TrueDue.is_due());
         assert!(!Outcome::Sdc.is_due());
+        assert!(
+            !Outcome::Recovered.is_failure() && !Outcome::Recovered.is_due(),
+            "a recovered fault costs IPC, not correctness"
+        );
     }
 }

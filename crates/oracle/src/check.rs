@@ -2,8 +2,8 @@
 
 use std::fmt;
 
-use ses_arch::Emulator;
-use ses_avf::{AvfAnalysis, DeadMap, SpanSet};
+use ses_arch::{DynInstr, Emulator, ExecutionTrace, Stepper};
+use ses_avf::{AvfAnalysis, DeadMap, RegionFault, RegionMap, SpanSet};
 use ses_faults::{Campaign, CampaignConfig};
 use ses_isa::{Instruction, Program};
 use ses_pipeline::{DetectionModel, Pipeline, PipelineConfig};
@@ -42,6 +42,12 @@ pub enum DivergenceKind {
     DueDecomposition,
     /// Bit-state fractions do not sum to one.
     StateFractions,
+    /// The idempotent-region analysis failed its correctness spine: the
+    /// regions do not partition the trace, a boundary is unjustified, or a
+    /// region's committed prefix did not re-execute byte-identically from
+    /// the region-entry state (a non-idempotent region — recovery would
+    /// silently corrupt state).
+    RecoveryDivergence,
     /// The injection-estimated AVF fell outside the binomial confidence
     /// interval around the analytic AVF.
     InjectionEstimate,
@@ -62,6 +68,7 @@ impl fmt::Display for DivergenceKind {
             DivergenceKind::BitCycleConservation => "bit-cycle-conservation",
             DivergenceKind::DueDecomposition => "due-decomposition",
             DivergenceKind::StateFractions => "state-fractions",
+            DivergenceKind::RecoveryDivergence => "recovery-divergence",
             DivergenceKind::InjectionEstimate => "injection-estimate",
         };
         f.write_str(s)
@@ -131,6 +138,10 @@ pub struct OracleConfig {
     pub pipeline: PipelineConfig,
     /// When set, also run the statistical injection cross-check.
     pub injection: Option<InjectionCheck>,
+    /// Test-only defect injected into the idempotent-region analysis (the
+    /// region-layer analogue of [`Mutation`]), so tests can prove the
+    /// re-execution check catches a live-in tracking bug and shrinks it.
+    pub region_fault: Option<RegionFault>,
 }
 
 impl Default for OracleConfig {
@@ -139,6 +150,7 @@ impl Default for OracleConfig {
             dynamic_budget: FuzzProgramSpec::default().dynamic_budget(),
             pipeline: PipelineConfig::default(),
             injection: None,
+            region_fault: None,
         }
     }
 }
@@ -326,7 +338,21 @@ pub fn check_program_mutated(
         ));
     }
 
-    // 6. Optional statistical cross-check.
+    // 6. Region layer: the recovery correctness spine. The partition and
+    // boundary-justification invariants come first (cheap, structural);
+    // then every region's committed prefix is re-executed from its entry
+    // state and must reproduce the identical commit stream and land back
+    // on the exact pre-signal machine state.
+    let regions = RegionMap::analyze_with(&trace, config.region_fault);
+    regions
+        .check_partition()
+        .map_err(|e| Divergence::new(DivergenceKind::RecoveryDivergence, None, e))?;
+    regions
+        .check_boundaries(&trace)
+        .map_err(|e| Divergence::new(DivergenceKind::RecoveryDivergence, None, e))?;
+    check_region_replay(program, &trace, &regions)?;
+
+    // 7. Optional statistical cross-check.
     let mut injected = false;
     if let Some(ic) = config.injection {
         injected = true;
@@ -372,6 +398,108 @@ pub fn check_program_mutated(
         cycles: result.cycles,
         injected,
     })
+}
+
+/// Whether a re-executed dynamic record matches its golden counterpart.
+/// `index` and `call_depth` are bookkeeping relative to the walk's origin,
+/// not architectural effects, so they are excluded from the comparison.
+fn dyn_matches(golden: &DynInstr, replayed: &DynInstr) -> bool {
+    golden.pc == replayed.pc
+        && golden.instr == replayed.instr
+        && golden.executed == replayed.executed
+        && golden.reg_written == replayed.reg_written
+        && golden.pred_written == replayed.pred_written
+        && golden.mem_read == replayed.mem_read
+        && golden.mem_written == replayed.mem_written
+        && golden.taken == replayed.taken
+        && golden.next_pc == replayed.next_pc
+        && golden.emitted == replayed.emitted
+}
+
+/// Lockstep re-execution of every region's maximal recovery window.
+///
+/// A walker steps the golden run; at each region's replay window
+/// `[start, end − 1)` it captures the machine state at `end − 1` (the
+/// latest point a deferred detection signal can land while the region is
+/// still current — the trailing clobber at `end − 1` has not committed),
+/// rewinds a second stepper to the region entry, and re-executes the
+/// window. Recovery is sound iff the replay reproduces the identical
+/// record stream and finishes on exactly the state it started from.
+fn check_region_replay(
+    program: &Program,
+    trace: &ExecutionTrace,
+    regions: &RegionMap,
+) -> Result<(), Divergence> {
+    let diverge =
+        |idx: Option<u64>, detail: String| Divergence::new(DivergenceKind::RecoveryDivergence, idx, detail);
+    let entries = trace.entries();
+    let mut walker = Stepper::new(program);
+    let mut cursor: u64 = 0;
+    for region in regions.regions() {
+        let (lo, hi) = region.replay_window();
+        while cursor < hi {
+            walker
+                .step()
+                .map_err(|e| diverge(Some(cursor), format!("golden walk faulted: {e}")))?
+                .ok_or_else(|| diverge(Some(cursor), "golden walk halted early".into()))?;
+            cursor += 1;
+        }
+        if hi > lo {
+            let snap = walker.snapshot();
+            let mut replay = Stepper::from_snapshot(program, snap.clone());
+            replay.set_pc(entries[lo as usize].pc);
+            for idx in lo..hi {
+                let got = replay
+                    .step()
+                    .map_err(|e| {
+                        diverge(Some(idx), format!("region re-execution faulted: {e}"))
+                    })?
+                    .ok_or_else(|| {
+                        diverge(Some(idx), "region re-execution halted early".into())
+                    })?;
+                let want = &entries[idx as usize];
+                if !dyn_matches(want, &got) {
+                    return Err(diverge(
+                        Some(idx),
+                        format!(
+                            "region [{}, {}) is not idempotent: re-executed `{}` at pc {} \
+                             (wrote {:?}/{:?}, mem {:?}), committed `{}` at pc {} \
+                             (wrote {:?}/{:?}, mem {:?})",
+                            region.start,
+                            region.end,
+                            got.instr,
+                            got.pc,
+                            got.reg_written,
+                            got.pred_written,
+                            got.mem_written,
+                            want.instr,
+                            want.pc,
+                            want.reg_written,
+                            want.pred_written,
+                            want.mem_written,
+                        ),
+                    ));
+                }
+            }
+            if !replay.snapshot().same_arch_state(&snap) {
+                return Err(diverge(
+                    Some(hi),
+                    format!(
+                        "region [{}, {}) re-execution did not restore the pre-signal \
+                         machine state (registers, predicates, PC or memory differ)",
+                        region.start, region.end
+                    ),
+                ));
+            }
+        }
+        while cursor < region.end {
+            walker
+                .step()
+                .map_err(|e| diverge(Some(cursor), format!("golden walk faulted: {e}")))?;
+            cursor += 1;
+        }
+    }
+    Ok(())
 }
 
 fn apply_mutation(stream: &mut Vec<CommitRecord>, mutation: Option<Mutation>) {
@@ -437,6 +565,44 @@ mod tests {
             let d = check_program_mutated(&program, &config, Some(mutation))
                 .expect_err("mutation must be detected");
             assert_eq!(d.kind, expected, "{mutation:?} -> {d}");
+        }
+    }
+
+    #[test]
+    fn seeded_region_fault_is_caught_as_recovery_divergence() {
+        use ses_types::Reg;
+        // Ignoring the accumulator in live-in tracking merges the
+        // self-increment clobber boundaries, leaving committed overwrites
+        // of region live-ins mid-region: re-execution must diverge.
+        let config = OracleConfig {
+            region_fault: Some(RegionFault::IgnoreReg(Reg::new(2))),
+            ..OracleConfig::default()
+        };
+        let mut caught = 0;
+        for seed in 0..10u64 {
+            let program = ses_workloads::fuzz_program(seed);
+            if let Err(d) = check_program(&program, &config) {
+                assert_eq!(d.kind, DivergenceKind::RecoveryDivergence, "seed {seed}: {d}");
+                caught += 1;
+            }
+        }
+        assert!(
+            caught >= 8,
+            "the live-in-clobber bug must trip the re-execution check, caught {caught}/10"
+        );
+    }
+
+    #[test]
+    fn store_dense_programs_pass_the_region_check() {
+        use ses_workloads::{fuzz_program_with, FuzzProgramSpec};
+        let spec = FuzzProgramSpec::mem_heavy();
+        let config = OracleConfig {
+            dynamic_budget: spec.dynamic_budget(),
+            ..OracleConfig::default()
+        };
+        for seed in 100..110u64 {
+            let program = fuzz_program_with(seed, &spec);
+            check_program(&program, &config).unwrap_or_else(|d| panic!("seed {seed}: {d}"));
         }
     }
 

@@ -178,6 +178,28 @@ mod tests {
     }
 
     #[test]
+    fn shrinks_a_region_live_in_clobber_to_a_handful_of_instructions() {
+        use ses_avf::RegionFault;
+        use ses_types::Reg;
+        // Seed the live-in tracking bug: ignoring the accumulator merges
+        // its self-increment clobber boundaries, so some region re-executes
+        // a committed overwrite and the fixed-point check fails.
+        let config = OracleConfig {
+            region_fault: Some(RegionFault::IgnoreReg(Reg::new(2))),
+            ..OracleConfig::default()
+        };
+        let program = fuzz_program(2);
+        let original = check_program_mutated(&program, &config, None)
+            .expect_err("the seeded region fault must fail the oracle");
+        assert_eq!(original.kind, DivergenceKind::RecoveryDivergence);
+        let out = shrink(&program, &config, None, original.kind);
+        assert!(out.program.len() <= 20, "shrunk to {}", out.program.len());
+        assert!(out.program.len() < out.original_len);
+        let d = check_program_mutated(&out.program, &config, None).unwrap_err();
+        assert_eq!(d.kind, DivergenceKind::RecoveryDivergence);
+    }
+
+    #[test]
     fn shrink_is_a_no_op_for_passing_programs() {
         let program = fuzz_program(5);
         let config = OracleConfig::default();

@@ -69,6 +69,12 @@ pub struct FuzzProgramSpec {
     pub max_atoms: u32,
     /// Maximum number of leaf functions reachable via gated calls.
     pub max_functions: u32,
+    /// Bias atom selection towards memory traffic: half the draws come
+    /// from the store/load atoms instead of the uniform mix. The resulting
+    /// store-dense, alias-heavy programs pack many idempotent-region
+    /// boundaries into few instructions — the hunting ground for the
+    /// region-mode fuzzer.
+    pub mem_bias: bool,
 }
 
 impl Default for FuzzProgramSpec {
@@ -79,6 +85,18 @@ impl Default for FuzzProgramSpec {
             min_atoms: 6,
             max_atoms: 18,
             max_functions: 2,
+            mem_bias: false,
+        }
+    }
+}
+
+impl FuzzProgramSpec {
+    /// The store-dense, alias-heavy shape: default sizes with
+    /// [`FuzzProgramSpec::mem_bias`] enabled.
+    pub fn mem_heavy() -> Self {
+        FuzzProgramSpec {
+            mem_bias: true,
+            ..FuzzProgramSpec::default()
         }
     }
 }
@@ -125,6 +143,9 @@ enum Atom {
     /// Neutral filler (`nop` / `hint` / `lfetch`).
     Neutral,
 }
+
+/// The atoms the memory bias over-samples.
+const MEM_ATOMS: [Atom; 3] = [Atom::StoreScratch, Atom::LoadScratch, Atom::StoreDead];
 
 const ATOMS: [Atom; 11] = [
     Atom::Alu,
@@ -207,7 +228,11 @@ fn build(rng: &mut StdRng, spec: &FuzzProgramSpec) -> Program {
     // --- loop body: shuffled random atoms ---
     let mut next_pred: u8 = 2; // p2..p7 rotate; p1 is the loop guard
     for _ in 0..atoms {
-        let atom = ATOMS[rng.gen_range(0..ATOMS.len() as u32) as usize];
+        let atom = if spec.mem_bias && rng.gen_range(0..2u32) == 0 {
+            MEM_ATOMS[rng.gen_range(0..MEM_ATOMS.len() as u32) as usize]
+        } else {
+            ATOMS[rng.gen_range(0..ATOMS.len() as u32) as usize]
+        };
         emit_atom(&mut b, rng, atom, &funcs, &mut next_pred);
     }
 
@@ -393,6 +418,29 @@ mod tests {
         assert!(agg.calls > 0);
         assert!(agg.outputs >= 40, "every program outputs at least once");
         assert!(agg.neutral > 0);
+    }
+
+    #[test]
+    fn mem_bias_makes_programs_store_denser() {
+        let count = |spec: &FuzzProgramSpec| {
+            let mut stores = 0u64;
+            let mut total = 0u64;
+            for seed in 0..30u64 {
+                let trace = Emulator::new(&fuzz_program_with(seed, spec))
+                    .run(spec.dynamic_budget())
+                    .unwrap();
+                let s = trace.stats();
+                stores += s.stores;
+                total += s.total;
+            }
+            stores as f64 / total as f64
+        };
+        let plain = count(&FuzzProgramSpec::default());
+        let heavy = count(&FuzzProgramSpec::mem_heavy());
+        assert!(
+            heavy > plain * 1.3,
+            "mem bias must raise store density: {heavy:.3} vs {plain:.3}"
+        );
     }
 
     #[test]

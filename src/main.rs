@@ -21,10 +21,12 @@ use ses_core::{
     compare_suites, mean, read_probability, run_ecc_campaign, run_fuzz, run_suite_with,
     run_workload, spec_by_name, splitmix64, suite, AdaptiveCampaignConfig, AdaptiveConfig,
     AdaptiveSession, Campaign, CampaignConfig, DetectionModel, EccCampaignConfig, EccDomain,
-    EccScheme, Environment, FalseDueCause, FuzzConfig, JsonValue, Level, MetricKind, Outcome,
-    PatternClass, PatternDistribution, PatternModel, Pipeline, PipelineConfig, ReliabilityModel,
-    Table, TechNode, Technique, TelemetryLevel, TrackingConfig,
+    EccScheme, Environment, FalseDueCause, FuzzConfig, JsonValue, LatencyDistribution, Level,
+    MetricKind, Outcome, PatternClass, PatternDistribution, PatternModel, Pipeline,
+    PipelineConfig, RecoveryPolicy, RegionFault, ReliabilityModel, Table, TechNode, Technique,
+    TelemetryLevel, TrackingConfig,
 };
+use ses_types::Reg;
 
 /// The `--json` / `--telemetry` flags shared by every subcommand.
 struct Telemetry {
@@ -375,6 +377,7 @@ fn cmd_campaign(name: &str, args: &[String], tel: &Telemetry) -> Result<(), Stri
     let mut adaptive = false;
     let mut target_halfwidth = 0.05f64;
     let mut detection = DetectionModel::None;
+    let mut model_set = false;
     let mut seed = 2026u64;
     let mut max_injections: Option<u32> = None;
     let mut gate_vs_uniform = false;
@@ -382,10 +385,22 @@ fn cmd_campaign(name: &str, args: &[String], tel: &Telemetry) -> Result<(), Stri
     let mut ecc: Option<EccScheme> = None;
     let mut node: Option<TechNode> = None;
     let mut env: Option<Environment> = None;
+    let mut detect_latency: Option<LatencyDistribution> = None;
+    let mut recovery = RecoveryPolicy::MachineCheck;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--adaptive" => adaptive = true,
+            "--detect-latency" => {
+                detect_latency = Some(
+                    it.next()
+                        .ok_or("--detect-latency needs a spec (fixed:N, geometric:M, table:LxW,...)")?
+                        .parse()?,
+                );
+            }
+            "--recovery" => {
+                recovery = it.next().ok_or("--recovery needs a policy")?.parse()?;
+            }
             "--pattern-model" => {
                 spatial = Some(match it.next().ok_or("--pattern-model needs a value")?.as_str() {
                     "single" => false,
@@ -417,6 +432,7 @@ fn cmd_campaign(name: &str, args: &[String], tel: &Telemetry) -> Result<(), Stri
                 }
             }
             "--model" => {
+                model_set = true;
                 detection = match it.next().ok_or("--model needs a value")?.as_str() {
                     "none" => DetectionModel::None,
                     "parity" => DetectionModel::Parity { tracking: None },
@@ -446,6 +462,66 @@ fn cmd_campaign(name: &str, args: &[String], tel: &Telemetry) -> Result<(), Stri
             _ => {}
         }
     }
+    // `--detect-latency` / `--recovery idempotent` select the
+    // detection-latency + recovery campaign: a fixed-budget detailed run
+    // whose artifact carries the schema-versioned `recovery` stanza.
+    // Recovery only acts on signalled faults, so detection defaults to
+    // parity here unless `--model` was given explicitly.
+    if recovery == RecoveryPolicy::Idempotent || detect_latency.is_some() {
+        if adaptive || ecc.is_some() || spatial.is_some() {
+            return Err(
+                "--detect-latency/--recovery combine with neither --adaptive nor --ecc/--pattern-model"
+                    .into(),
+            );
+        }
+        if !model_set {
+            detection = DetectionModel::Parity { tracking: None };
+        }
+        let config = CampaignConfig {
+            injections: max_injections.unwrap_or(500),
+            seed,
+            detection,
+            detect_latency: detect_latency.clone(),
+            recovery,
+            ..CampaignConfig::default()
+        };
+        let iq_entries = config.pipeline.iq_entries;
+        let campaign = Campaign::prepare(&spec, config).map_err(|e| e.to_string())?;
+        let detailed = campaign.run_detailed();
+        let report = detailed.summary();
+        print!("{report}");
+        match &detect_latency {
+            Some(d) => println!("detection latency: {d} cycles"),
+            None => println!("detection latency: 0 cycles (immediate)"),
+        }
+        println!("recovery policy: {}", recovery.label());
+        if let Some(r) = detailed.recovery() {
+            println!(
+                "idempotent regions: {} (mean length {:.1} instructions)",
+                r.regions, r.mean_region_len
+            );
+            println!(
+                "recovered {} of {} detections ({:.1}%), machine-check fallback {}",
+                r.recovered,
+                r.detected(),
+                r.recovered_fraction() * 100.0,
+                r.fallback_due
+            );
+            println!(
+                "re-execution cost: {} instructions total, {:.1} per recovery (mean latency {:.1} cycles)",
+                r.reexec_instructions,
+                r.mean_reexec_instructions(),
+                r.mean_latency_cycles()
+            );
+        }
+        if tel.active() {
+            tel.emit(&artifact::campaign_artifact(
+                name, &detailed, iq_entries, tel.level,
+            ))?;
+        }
+        return Ok(());
+    }
+
     let metric = match detection {
         DetectionModel::None => MetricKind::SdcAvf,
         _ => MetricKind::DueAvf,
@@ -881,6 +957,30 @@ fn cmd_fuzz(args: &[String], tel: &Telemetry) -> Result<(), String> {
             }
             "--shrink" => cfg.shrink = true,
             "--no-shrink" => cfg.shrink = false,
+            "--mutate" => {
+                match it.next().ok_or("--mutate needs a mode")?.as_str() {
+                    // Region-boundary-aware fuzzing: store-dense programs
+                    // stress the idempotent-region analysis and its
+                    // replay check (oracle stage 6).
+                    "regions" => cfg.program_spec = ses_workloads::FuzzProgramSpec::mem_heavy(),
+                    other => return Err(format!("unknown mutation mode '{other}' (use regions)")),
+                }
+            }
+            "--region-fault" => {
+                // Seeds a defect into the region analysis so the fuzzer
+                // must catch (and shrink) the resulting divergence; the
+                // run is expected to FAIL.
+                cfg.oracle.region_fault =
+                    Some(match it.next().ok_or("--region-fault needs a kind")?.as_str() {
+                        "ignore-acc" => RegionFault::IgnoreReg(Reg::new(2)),
+                        "ignore-stores" => RegionFault::IgnoreStores,
+                        other => {
+                            return Err(format!(
+                                "unknown region fault '{other}' (use ignore-acc/ignore-stores)"
+                            ))
+                        }
+                    });
+            }
             "--inject-every" => {
                 cfg.injection_every = it
                     .next()
@@ -906,7 +1006,7 @@ fn cmd_fuzz(args: &[String], tel: &Telemetry) -> Result<(), String> {
     }
 
     if let Some(dir) = corpus_dir {
-        return emit_corpus(&dir, cfg.seed, corpus_count);
+        return emit_corpus(&dir, cfg.seed, corpus_count, &cfg.program_spec);
     }
 
     let report = run_fuzz(&cfg);
@@ -957,22 +1057,33 @@ fn cmd_fuzz(args: &[String], tel: &Telemetry) -> Result<(), String> {
 /// Generates `count` oracle-clean programs from `seed` and writes them as
 /// replayable `.s` files — the committed regression corpus under
 /// `tests/corpus/` is produced exactly this way.
-fn emit_corpus(dir: &std::path::Path, seed: u64, count: u64) -> Result<(), String> {
-    let spec = ses_workloads::FuzzProgramSpec::default();
+fn emit_corpus(
+    dir: &std::path::Path,
+    seed: u64,
+    count: u64,
+    spec: &ses_workloads::FuzzProgramSpec,
+) -> Result<(), String> {
     let oracle = ses_core::OracleConfig::default();
+    // Store-dense (`--mutate regions`) entries get their own file prefix
+    // so the two corpus families stay distinguishable on disk.
+    let (prefix, mode_flag) = if spec.mem_bias {
+        ("mem", " --mutate regions")
+    } else {
+        ("fuzz", "")
+    };
     std::fs::create_dir_all(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
     for i in 0..count {
         let program_seed = splitmix64(seed.wrapping_add(i));
-        let program = ses_workloads::fuzz_program_with(program_seed, &spec);
+        let program = ses_workloads::fuzz_program_with(program_seed, spec);
         ses_core::check_program(&program, &oracle)
             .map_err(|d| format!("seed {program_seed:#x} fails the oracle: {d}"))?;
         let text = format!(
             "; fuzz corpus entry {i}: campaign seed {seed}, program seed {program_seed:#x}\n\
-             ; regenerate with: ser-repro fuzz --seed {seed} --emit-corpus <dir> --corpus-count {count}\n\
+             ; regenerate with: ser-repro fuzz --seed {seed}{mode_flag} --emit-corpus <dir> --corpus-count {count}\n\
              {}",
             ses_isa::disassemble(&program)
         );
-        let path = dir.join(format!("fuzz-{i:02}-{program_seed:016x}.s"));
+        let path = dir.join(format!("{prefix}-{i:02}-{program_seed:016x}.s"));
         std::fs::write(&path, text).map_err(|e| format!("{}: {e}", path.display()))?;
         println!("wrote {}", path.display());
     }
@@ -1001,9 +1112,12 @@ fn usage() -> &'static str {
                        --seed N  --injections CAP  --gate-vs-uniform\n\
                        --pattern-model single|spatial  --ecc none|parity|sec|sec-ded|taec|dec\n\
                        --node 28nm|16nm|7nm  --env consumer|avionics|space\n\
+                       --detect-latency fixed:N|geometric:M|table:LxW,...\n\
+                       --recovery machine-check|idempotent\n\
      ecc-grid options: --probes N  --seed N\n\
      fuzz options: --seed N  --iters N  --shrink|--no-shrink  --out DIR\n\
                    --inject-every N  --emit-corpus DIR  --corpus-count N\n\
+                   --mutate regions  --region-fault ignore-acc|ignore-stores\n\
      artifact flags (any command): --json <path>   --telemetry off|summary|full"
 }
 

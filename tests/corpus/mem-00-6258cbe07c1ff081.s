@@ -1,0 +1,45 @@
+; fuzz corpus entry 0: campaign seed 77, program seed 0x6258cbe07c1ff081
+; regenerate with: ser-repro fuzz --seed 77 --mutate regions --emit-corpus <dir> --corpus-count 6
+(p0) movi r1 = 8    ; +0x0000
+(p0) movi r2 = 0    ; +0x0008
+(p0) movi r3 = 131072    ; +0x0010
+(p0) movi r4 = 1    ; +0x0018
+(p0) movi r10 = 1876    ; +0x0020
+(p0) movi r11 = 58    ; +0x0028
+(p0) movi r12 = 1243    ; +0x0030
+(p0) movi r13 = 5    ; +0x0038
+(p0) movi r14 = 729    ; +0x0040
+(p0) movi r15 = 671    ; +0x0048
+(p0) movi r16 = 133    ; +0x0050
+(p0) movi r17 = 1034    ; +0x0058
+(p0) movi r18 = 1556    ; +0x0060
+(p0) movi r19 = 430    ; +0x0068
+(p0) st8 [r3 + 0] = r13    ; +0x0070
+(p0) st8 [r3 + 8] = r15    ; +0x0078
+(p0) st8 [r3 + 16] = r16    ; +0x0080
+(p0) st8 [r3 + 24] = r16    ; +0x0088
+(p0) st8 [r3 + 8] = r11    ; +0x0090
+(p0) ld8 r15 = [r3 + 8]    ; +0x0098
+(p0) movi r14 = -1855    ; +0x00a0
+(p0) hint +0    ; +0x00a8
+(p0) addi r6 = r18, -90    ; +0x00b0
+(p0) cmp.lt p2 = r6, r0    ; +0x00b8
+(p2) br +32    ; +0x00c0
+(p0) add r12 = r18, r4    ; +0x00c8
+(p0) add r12 = r19, r4    ; +0x00d0
+(p0) add r12 = r14, r4    ; +0x00d8
+(p0) st8 [r3 + 32] = r14    ; +0x00e0
+(p0) ld8 r11 = [r3 + 48]    ; +0x00e8
+(p0) st8 [r3 + 1056] = r13    ; +0x00f0
+(p0) st8 [r3 + 56] = r14    ; +0x00f8
+(p0) ld8 r17 = [r3 + 8]    ; +0x0100
+(p0) st8 [r3 + 1024] = r13    ; +0x0108
+(p0) st8 [r3 + 40] = r18    ; +0x0110
+(p0) ld8 r11 = [r3 + 48]    ; +0x0118
+(p0) addi r19 = r10, -38    ; +0x0120
+(p0) add r2 = r2, r12    ; +0x0128
+(p0) addi r1 = r1, -1    ; +0x0130
+(p0) cmp.lt p1 = r0, r1    ; +0x0138
+(p1) br -176    ; +0x0140
+(p0) out r2    ; +0x0148
+(p0) halt    ; +0x0150

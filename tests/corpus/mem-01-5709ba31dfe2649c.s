@@ -1,0 +1,60 @@
+; fuzz corpus entry 1: campaign seed 77, program seed 0x5709ba31dfe2649c
+; regenerate with: ser-repro fuzz --seed 77 --mutate regions --emit-corpus <dir> --corpus-count 6
+(p0) movi r1 = 14    ; +0x0000
+(p0) movi r2 = 0    ; +0x0008
+(p0) movi r3 = 131072    ; +0x0010
+(p0) movi r4 = 1    ; +0x0018
+(p0) movi r10 = 1303    ; +0x0020
+(p0) movi r11 = 1999    ; +0x0028
+(p0) movi r12 = 1986    ; +0x0030
+(p0) movi r13 = 1463    ; +0x0038
+(p0) movi r14 = 4    ; +0x0040
+(p0) movi r15 = 3    ; +0x0048
+(p0) movi r16 = 345    ; +0x0050
+(p0) movi r17 = 1046    ; +0x0058
+(p0) movi r18 = 1837    ; +0x0060
+(p0) movi r19 = 1475    ; +0x0068
+(p0) st8 [r3 + 0] = r14    ; +0x0070
+(p0) st8 [r3 + 8] = r17    ; +0x0078
+(p0) st8 [r3 + 16] = r14    ; +0x0080
+(p0) st8 [r3 + 24] = r12    ; +0x0088
+(p0) and r6 = r13, r4    ; +0x0090
+(p0) cmp.eq p2 = r6, r0    ; +0x0098
+(p2) and r17 = r16, r12    ; +0x00a0
+(p0) nop    ; +0x00a8
+(p0) addi r6 = r16, -406    ; +0x00b0
+(p0) cmp.lt p3 = r6, r0    ; +0x00b8
+(p3) br +32    ; +0x00c0
+(p0) add r19 = r12, r4    ; +0x00c8
+(p0) add r19 = r11, r4    ; +0x00d0
+(p0) add r13 = r18, r4    ; +0x00d8
+(p0) st8 [r3 + 1112] = r19    ; +0x00e0
+(p0) st8 [r3 + 1040] = r10    ; +0x00e8
+(p0) st8 [r3 + 1080] = r11    ; +0x00f0
+(p0) nop    ; +0x00f8
+(p0) movi r20 = 13    ; +0x0100
+(p0) add r21 = r20, r4    ; +0x0108
+(p0) mul r22 = r21, r21    ; +0x0110
+(p0) st8 [r3 + 24] = r12    ; +0x0118
+(p0) ld8 r15 = [r3 + 56]    ; +0x0120
+(p0) and r6 = r1, r4    ; +0x0128
+(p0) cmp.eq p4 = r6, r0    ; +0x0130
+(p4) out r2    ; +0x0138
+(p0) movi r20 = 33    ; +0x0140
+(p0) add r21 = r20, r4    ; +0x0148
+(p0) mul r22 = r21, r21    ; +0x0150
+(p0) st8 [r3 + 32] = r11    ; +0x0158
+(p0) ld8 r19 = [r3 + 56]    ; +0x0160
+(p0) st8 [r3 + 24] = r19    ; +0x0168
+(p0) and r6 = r1, r4    ; +0x0170
+(p0) cmp.eq p5 = r6, r0    ; +0x0178
+(p5) out r2    ; +0x0180
+(p0) ld8 r18 = [r3 + 24]    ; +0x0188
+(p0) st8 [r3 + 1080] = r15    ; +0x0190
+(p0) st8 [r3 + 1072] = r12    ; +0x0198
+(p0) add r2 = r2, r19    ; +0x01a0
+(p0) addi r1 = r1, -1    ; +0x01a8
+(p0) cmp.lt p1 = r0, r1    ; +0x01b0
+(p1) br -296    ; +0x01b8
+(p0) out r2    ; +0x01c0
+(p0) halt    ; +0x01c8

@@ -1,0 +1,57 @@
+; fuzz corpus entry 2: campaign seed 77, program seed 0x8795cc503eda4f23
+; regenerate with: ser-repro fuzz --seed 77 --mutate regions --emit-corpus <dir> --corpus-count 6
+(p0) movi r1 = 9    ; +0x0000
+(p0) movi r2 = 0    ; +0x0008
+(p0) movi r3 = 131072    ; +0x0010
+(p0) movi r4 = 1    ; +0x0018
+(p0) movi r10 = 1577    ; +0x0020
+(p0) movi r11 = 180    ; +0x0028
+(p0) movi r12 = 1229    ; +0x0030
+(p0) movi r13 = 1298    ; +0x0038
+(p0) movi r14 = 152    ; +0x0040
+(p0) movi r15 = 602    ; +0x0048
+(p0) movi r16 = 115    ; +0x0050
+(p0) movi r17 = 1569    ; +0x0058
+(p0) movi r18 = 558    ; +0x0060
+(p0) movi r19 = 885    ; +0x0068
+(p0) st8 [r3 + 0] = r10    ; +0x0070
+(p0) st8 [r3 + 8] = r11    ; +0x0078
+(p0) st8 [r3 + 16] = r10    ; +0x0080
+(p0) st8 [r3 + 24] = r14    ; +0x0088
+(p0) ld8 r13 = [r3 + 32]    ; +0x0090
+(p0) st8 [r3 + 16] = r14    ; +0x0098
+(p0) ld8 r17 = [r3 + 48]    ; +0x00a0
+(p0) ld8 r18 = [r3 + 56]    ; +0x00a8
+(p0) st8 [r3 + 0] = r18    ; +0x00b0
+(p0) ld8 r17 = [r3 + 40]    ; +0x00b8
+(p0) st8 [r3 + 1024] = r17    ; +0x00c0
+(p0) st8 [r3 + 1080] = r18    ; +0x00c8
+(p0) st8 [r3 + 16] = r12    ; +0x00d0
+(p0) and r6 = r1, r4    ; +0x00d8
+(p0) cmp.eq p2 = r6, r0    ; +0x00e0
+(p2) call +160, link=r31    ; +0x00e8
+(p0) st8 [r3 + 1128] = r16    ; +0x00f0
+(p0) st8 [r3 + 40] = r19    ; +0x00f8
+(p0) ld8 r13 = [r3 + 56]    ; +0x0100
+(p0) ld8 r15 = [r3 + 0]    ; +0x0108
+(p0) ld8 r12 = [r3 + 0]    ; +0x0110
+(p0) ld8 r13 = [r3 + 40]    ; +0x0118
+(p0) ld8 r10 = [r3 + 48]    ; +0x0120
+(p0) add r2 = r2, r16    ; +0x0128
+(p0) addi r1 = r1, -1    ; +0x0130
+(p0) cmp.lt p1 = r0, r1    ; +0x0138
+(p1) br -176    ; +0x0140
+(p0) out r2    ; +0x0148
+(p0) halt    ; +0x0150
+(p0) movi r40 = 3    ; +0x0158
+(p0) movi r41 = 4    ; +0x0160
+(p0) movi r42 = 5    ; +0x0168
+(p0) movi r43 = 6    ; +0x0170
+(p0) add r2 = r2, r4    ; +0x0178
+(p0) ret r31    ; +0x0180
+(p0) movi r40 = 4    ; +0x0188
+(p0) movi r41 = 5    ; +0x0190
+(p0) movi r42 = 6    ; +0x0198
+(p0) movi r43 = 7    ; +0x01a0
+(p0) add r2 = r2, r4    ; +0x01a8
+(p0) ret r31    ; +0x01b0

@@ -1,0 +1,43 @@
+; fuzz corpus entry 3: campaign seed 77, program seed 0xbd9e8145f2fa917b
+; regenerate with: ser-repro fuzz --seed 77 --mutate regions --emit-corpus <dir> --corpus-count 6
+(p0) movi r1 = 12    ; +0x0000
+(p0) movi r2 = 0    ; +0x0008
+(p0) movi r3 = 131072    ; +0x0010
+(p0) movi r4 = 1    ; +0x0018
+(p0) movi r10 = 75    ; +0x0020
+(p0) movi r11 = 777    ; +0x0028
+(p0) movi r12 = 207    ; +0x0030
+(p0) movi r13 = 253    ; +0x0038
+(p0) movi r14 = 13    ; +0x0040
+(p0) movi r15 = 1081    ; +0x0048
+(p0) movi r16 = 547    ; +0x0050
+(p0) movi r17 = 1081    ; +0x0058
+(p0) movi r18 = 1348    ; +0x0060
+(p0) movi r19 = 574    ; +0x0068
+(p0) st8 [r3 + 0] = r15    ; +0x0070
+(p0) st8 [r3 + 8] = r17    ; +0x0078
+(p0) st8 [r3 + 16] = r19    ; +0x0080
+(p0) st8 [r3 + 24] = r17    ; +0x0088
+(p0) st8 [r3 + 1112] = r18    ; +0x0090
+(p0) ld8 r11 = [r3 + 24]    ; +0x0098
+(p0) sub r17 = r10, r13    ; +0x00a0
+(p0) hint +0    ; +0x00a8
+(p0) st8 [r3 + 40] = r12    ; +0x00b0
+(p0) mul r12 = r16, r19    ; +0x00b8
+(p0) nop    ; +0x00c0
+(p0) movi r20 = 54    ; +0x00c8
+(p0) add r21 = r20, r4    ; +0x00d0
+(p0) mul r22 = r21, r21    ; +0x00d8
+(p0) st8 [r3 + 1048] = r14    ; +0x00e0
+(p0) add r2 = r2, r17    ; +0x00e8
+(p0) addi r1 = r1, -1    ; +0x00f0
+(p0) cmp.lt p1 = r0, r1    ; +0x00f8
+(p1) br -112    ; +0x0100
+(p0) out r2    ; +0x0108
+(p0) halt    ; +0x0110
+(p0) movi r40 = 3    ; +0x0118
+(p0) movi r41 = 4    ; +0x0120
+(p0) movi r42 = 5    ; +0x0128
+(p0) movi r43 = 6    ; +0x0130
+(p0) add r2 = r2, r4    ; +0x0138
+(p0) ret r31    ; +0x0140

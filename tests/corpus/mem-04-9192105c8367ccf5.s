@@ -1,0 +1,42 @@
+; fuzz corpus entry 4: campaign seed 77, program seed 0x9192105c8367ccf5
+; regenerate with: ser-repro fuzz --seed 77 --mutate regions --emit-corpus <dir> --corpus-count 6
+(p0) movi r1 = 13    ; +0x0000
+(p0) movi r2 = 0    ; +0x0008
+(p0) movi r3 = 131072    ; +0x0010
+(p0) movi r4 = 1    ; +0x0018
+(p0) movi r10 = 805    ; +0x0020
+(p0) movi r11 = 1658    ; +0x0028
+(p0) movi r12 = 98    ; +0x0030
+(p0) movi r13 = 1353    ; +0x0038
+(p0) movi r14 = 1361    ; +0x0040
+(p0) movi r15 = 898    ; +0x0048
+(p0) movi r16 = 1550    ; +0x0050
+(p0) movi r17 = 1791    ; +0x0058
+(p0) movi r18 = 97    ; +0x0060
+(p0) movi r19 = 1879    ; +0x0068
+(p0) st8 [r3 + 0] = r15    ; +0x0070
+(p0) st8 [r3 + 8] = r18    ; +0x0078
+(p0) st8 [r3 + 16] = r11    ; +0x0080
+(p0) st8 [r3 + 24] = r17    ; +0x0088
+(p0) st8 [r3 + 48] = r11    ; +0x0090
+(p0) ld8 r15 = [r3 + 24]    ; +0x0098
+(p0) st8 [r3 + 1056] = r13    ; +0x00a0
+(p0) movi r12 = -802    ; +0x00a8
+(p0) st8 [r3 + 1088] = r14    ; +0x00b0
+(p0) ld8 r18 = [r3 + 8]    ; +0x00b8
+(p0) xor r19 = r15, r14    ; +0x00c0
+(p0) and r6 = r10, r4    ; +0x00c8
+(p0) cmp.eq p2 = r6, r0    ; +0x00d0
+(p2) mul r17 = r10, r18    ; +0x00d8
+(p2) or r12 = r11, r18    ; +0x00e0
+(p2) xor r18 = r19, r13    ; +0x00e8
+(p0) ld8 r15 = [r3 + 24]    ; +0x00f0
+(p0) movi r20 = 85    ; +0x00f8
+(p0) add r21 = r20, r4    ; +0x0100
+(p0) mul r22 = r21, r21    ; +0x0108
+(p0) add r2 = r2, r11    ; +0x0110
+(p0) addi r1 = r1, -1    ; +0x0118
+(p0) cmp.lt p1 = r0, r1    ; +0x0120
+(p1) br -152    ; +0x0128
+(p0) out r2    ; +0x0130
+(p0) halt    ; +0x0138

@@ -1,0 +1,35 @@
+; fuzz corpus entry 5: campaign seed 77, program seed 0xde7f33488454a0c
+; regenerate with: ser-repro fuzz --seed 77 --mutate regions --emit-corpus <dir> --corpus-count 6
+(p0) movi r1 = 22    ; +0x0000
+(p0) movi r2 = 0    ; +0x0008
+(p0) movi r3 = 131072    ; +0x0010
+(p0) movi r4 = 1    ; +0x0018
+(p0) movi r10 = 1057    ; +0x0020
+(p0) movi r11 = 1585    ; +0x0028
+(p0) movi r12 = 1473    ; +0x0030
+(p0) movi r13 = 975    ; +0x0038
+(p0) movi r14 = 122    ; +0x0040
+(p0) movi r15 = 21    ; +0x0048
+(p0) movi r16 = 971    ; +0x0050
+(p0) movi r17 = 1846    ; +0x0058
+(p0) movi r18 = 1980    ; +0x0060
+(p0) movi r19 = 1764    ; +0x0068
+(p0) st8 [r3 + 0] = r17    ; +0x0070
+(p0) st8 [r3 + 8] = r17    ; +0x0078
+(p0) st8 [r3 + 16] = r15    ; +0x0080
+(p0) st8 [r3 + 24] = r15    ; +0x0088
+(p0) st8 [r3 + 1064] = r11    ; +0x0090
+(p0) st8 [r3 + 56] = r16    ; +0x0098
+(p0) ld8 r18 = [r3 + 56]    ; +0x00a0
+(p0) addi r6 = r15, -1246    ; +0x00a8
+(p0) cmp.lt p2 = r6, r0    ; +0x00b0
+(p2) br +16    ; +0x00b8
+(p0) add r10 = r13, r4    ; +0x00c0
+(p0) nop    ; +0x00c8
+(p0) ld8 r14 = [r3 + 16]    ; +0x00d0
+(p0) add r2 = r2, r11    ; +0x00d8
+(p0) addi r1 = r1, -1    ; +0x00e0
+(p0) cmp.lt p1 = r0, r1    ; +0x00e8
+(p1) br -96    ; +0x00f0
+(p0) out r2    ; +0x00f8
+(p0) halt    ; +0x0100

@@ -305,6 +305,98 @@ fn pattern_adaptive_artifact_is_thread_count_invariant_and_resumable() {
     );
 }
 
+/// Satellite: the recovery campaign inherits the thread-count guarantee —
+/// the latency draw and region lookup are pure functions of the per-fault
+/// coordinate, so the Summary artifact (recovery stanza included) is
+/// byte-identical no matter how many workers evaluate the injections.
+#[test]
+fn recovery_artifact_is_thread_count_invariant() {
+    use ses_core::telemetry::campaign_artifact;
+    use ses_core::{
+        Campaign, CampaignConfig, DetectionModel, LatencyDistribution, RecoveryPolicy,
+        TelemetryLevel,
+    };
+    let spec = WorkloadSpec::quick("recovery-threads", 11);
+    let render = |threads: usize| {
+        let config = CampaignConfig {
+            injections: 120,
+            seed: 3,
+            detection: DetectionModel::Parity { tracking: None },
+            detect_latency: Some(LatencyDistribution::Geometric { mean: 12.0 }),
+            recovery: RecoveryPolicy::Idempotent,
+            threads,
+            ..CampaignConfig::default()
+        };
+        let iq = config.pipeline.iq_entries;
+        let detailed = Campaign::prepare(&spec, config).unwrap().run_detailed();
+        campaign_artifact("recovery-threads", &detailed, iq, TelemetryLevel::Summary).render()
+    };
+    let one = render(1);
+    assert_eq!(one, render(2), "recovery artifact must not depend on threads (1 vs 2)");
+    assert_eq!(one, render(8), "recovery artifact must not depend on threads (1 vs 8)");
+    assert!(one.contains("\"recovery\""), "artifact must carry the recovery stanza");
+}
+
+/// Checkpointed injection replay must not perturb recovery accounting:
+/// the per-fault outcomes and the whole recovery stanza are identical
+/// between a from-scratch campaign and one that resumes from pipeline
+/// snapshots. (Full artifact bytes legitimately differ — the perf block
+/// records cycles skipped — so equality is on samples and stanza.)
+#[test]
+fn recovery_survives_checkpoint_resume() {
+    use ses_core::{
+        Campaign, CampaignConfig, DetectionModel, LatencyDistribution, RecoveryPolicy,
+    };
+    let spec = WorkloadSpec::quick("recovery-ckpt", 23);
+    let run = |checkpoint_interval: Option<u64>| {
+        let config = CampaignConfig {
+            injections: 120,
+            seed: 41,
+            detection: DetectionModel::Parity { tracking: None },
+            detect_latency: Some(LatencyDistribution::Fixed(6)),
+            recovery: RecoveryPolicy::Idempotent,
+            checkpoint_interval,
+            ..CampaignConfig::default()
+        };
+        Campaign::prepare(&spec, config).unwrap().run_detailed()
+    };
+    let scratch = run(Some(0));
+    let checkpointed = run(None);
+    assert!(
+        checkpointed.perf().cycles_skipped > 0,
+        "the checkpointed run must actually exercise snapshot resume"
+    );
+    assert_eq!(scratch.samples(), checkpointed.samples(), "per-fault outcomes must match");
+    assert_eq!(
+        scratch.recovery(),
+        checkpointed.recovery(),
+        "checkpoint/resume must not perturb the recovery stanza"
+    );
+}
+
+/// Guard for pre-recovery artifact compatibility: a campaign with no
+/// detection latency configured must emit exactly the legacy bytes — no
+/// `recovery` stanza, no `recovered` outcome key.
+#[test]
+fn latency_off_artifact_has_no_recovery_stanza() {
+    use ses_core::telemetry::campaign_artifact;
+    use ses_core::{Campaign, CampaignConfig, DetectionModel, TelemetryLevel};
+    let spec = WorkloadSpec::quick("latency-off", 5);
+    let config = CampaignConfig {
+        injections: 80,
+        seed: 9,
+        detection: DetectionModel::Parity { tracking: None },
+        ..CampaignConfig::default()
+    };
+    let iq = config.pipeline.iq_entries;
+    let detailed = Campaign::prepare(&spec, config).unwrap().run_detailed();
+    assert!(detailed.recovery().is_none(), "legacy runs must not grow a recovery report");
+    let rendered =
+        campaign_artifact("latency-off", &detailed, iq, TelemetryLevel::Summary).render();
+    assert!(!rendered.contains("\"recovery\""), "no recovery stanza on legacy runs");
+    assert!(!rendered.contains("\"recovered\""), "no recovered outcome key on legacy runs");
+}
+
 /// The single-bit adaptive artifact pre-dates the spatial-strike engine:
 /// with `pattern: None` its bytes must not change — no stanza, no label
 /// suffixes, nothing.

@@ -158,3 +158,60 @@ fn perturbed_ecc_grid_is_caught() {
         "golden must pin the measured cc read probability"
     );
 }
+
+/// Rebuilds exactly what `ser-repro campaign crafty --detect-latency
+/// fixed:N --recovery idempotent --injections 150 --json ...` writes.
+fn crafty_recovery_artifact(seed: u64, latency: u64) -> String {
+    use ses_core::telemetry::campaign_artifact;
+    use ses_core::{
+        Campaign, CampaignConfig, DetectionModel, LatencyDistribution, RecoveryPolicy,
+    };
+    let spec = spec_by_name("crafty").expect("crafty in suite");
+    let config = CampaignConfig {
+        injections: 150,
+        seed,
+        detection: DetectionModel::Parity { tracking: None },
+        detect_latency: Some(LatencyDistribution::Fixed(latency)),
+        recovery: RecoveryPolicy::Idempotent,
+        ..CampaignConfig::default()
+    };
+    let iq = config.pipeline.iq_entries;
+    let detailed = Campaign::prepare(&spec, config).expect("campaign prepares").run_detailed();
+    campaign_artifact("crafty", &detailed, iq, TelemetryLevel::Summary).render()
+}
+
+/// Satellite: the recovery campaign artifact — outcome counts with the
+/// `recovered` class, the recovery stanza (region census, recovered vs
+/// machine-check-fallback split, re-execution charge) — is pinned
+/// byte-for-byte under an 8-cycle fixed detection latency.
+#[test]
+fn recovery_artifact_matches_golden() {
+    assert_eq!(
+        crafty_recovery_artifact(2026, 8),
+        golden("campaign_recovery.json"),
+        "recovery artifact drifted from tests/golden/campaign_recovery.json; \
+         if intentional, regenerate with \
+         `cargo run --release -- campaign crafty --detect-latency fixed:8 \
+         --recovery idempotent --injections 150 \
+         --json tests/golden/campaign_recovery.json`"
+    );
+}
+
+/// The pin must be falsifiable in both knobs that define it: a different
+/// fault sequence (seed) and a different detection latency must each move
+/// the pinned bytes, and the golden must actually carry the stanza.
+#[test]
+fn perturbed_recovery_artifact_is_caught() {
+    let golden_text = golden("campaign_recovery.json");
+    assert!(golden_text.contains("\"recovery\""), "golden must carry the recovery stanza");
+    assert_ne!(
+        crafty_recovery_artifact(2027, 8),
+        golden_text,
+        "a different fault sequence must move the recovery artifact"
+    );
+    assert_ne!(
+        crafty_recovery_artifact(2026, 0),
+        golden_text,
+        "zero latency recovers every detection and must move the artifact"
+    );
+}

@@ -86,6 +86,49 @@ fn seeded_divergence_is_caught_and_shrunk_to_a_minimal_reproducer() {
 }
 
 #[test]
+fn region_fuzz_catches_a_seeded_live_in_clobber_and_shrinks_it() {
+    // Satellite: the region-boundary-aware fuzz mode (`--mutate regions`
+    // with `--region-fault ignore-acc` on the CLI). Ignoring the
+    // accumulator in live-in tracking merges its self-increment clobber
+    // boundaries, so some region re-executes a committed overwrite; the
+    // replay fixed-point check must catch it and ddmin must shrink the
+    // reproducer to a handful of instructions.
+    use ses_core::RegionFault;
+    use ses_types::Reg;
+    let config = FuzzConfig {
+        seed: 77,
+        iters: 10,
+        program_spec: ses_workloads::FuzzProgramSpec::mem_heavy(),
+        oracle: OracleConfig {
+            region_fault: Some(RegionFault::IgnoreReg(Reg::new(2))),
+            ..OracleConfig::default()
+        },
+        max_failures: 1,
+        injection_every: 0,
+        ..FuzzConfig::default()
+    };
+    let report = run_fuzz(&config);
+    assert_eq!(report.failures.len(), 1, "the seeded bug must be caught");
+    let f = &report.failures[0];
+    assert_eq!(f.divergence.kind, DivergenceKind::RecoveryDivergence);
+
+    let shrunk = f.shrunk.as_ref().expect("shrinking was enabled");
+    assert!(
+        shrunk.len() <= 20,
+        "reproducer must be minimal, got {} instructions",
+        shrunk.len()
+    );
+    // The reproducer reassembles and still fails the seeded-fault oracle,
+    // but is clean under the correct region analysis.
+    let reparsed = ses_isa::assemble(&f.reproducer_asm()).expect("reproducer must reassemble");
+    let again = check_program(&reparsed, &config.oracle)
+        .expect_err("reproducer must still fail under the seeded fault");
+    assert_eq!(again.kind, DivergenceKind::RecoveryDivergence);
+    check_program(&reparsed, &OracleConfig::default())
+        .expect("the un-faulted region analysis must pass the reproducer");
+}
+
+#[test]
 fn shrinker_preserves_the_divergence_kind() {
     // A predication divergence must not shrink into a commit-count one.
     let program = ses_workloads::fuzz_program(9);
@@ -102,6 +145,10 @@ fn shrinker_preserves_the_divergence_kind() {
 
 #[test]
 fn regression_corpus_replays_clean() {
+    // Every corpus entry flows through the full oracle stack, which now
+    // includes the idempotent-region partition/boundary/replay check —
+    // the `mem-*` family exists precisely to make that stage work hard
+    // (store-dense, alias-heavy programs with short regions).
     let dir = corpus_dir();
     let mut entries: Vec<PathBuf> = std::fs::read_dir(&dir)
         .unwrap_or_else(|e| panic!("{}: {e}", dir.display()))
@@ -110,9 +157,20 @@ fn regression_corpus_replays_clean() {
         .collect();
     entries.sort();
     assert!(
-        entries.len() >= 10,
-        "corpus must hold at least 10 programs, found {}",
+        entries.len() >= 18,
+        "corpus must hold at least 18 programs, found {}",
         entries.len()
+    );
+    let store_dense = entries
+        .iter()
+        .filter(|p| {
+            p.file_name()
+                .is_some_and(|n| n.to_string_lossy().starts_with("mem-"))
+        })
+        .count();
+    assert!(
+        store_dense >= 6,
+        "corpus must hold at least 6 store-dense programs, found {store_dense}"
     );
     let config = OracleConfig::default();
     for path in &entries {

@@ -149,6 +149,154 @@ proptest! {
     }
 }
 
+// --- idempotent-region recovery invariants -------------------------------
+
+/// Satellite: structural and conservation properties of the
+/// detection-latency + idempotent-region recovery model.
+mod recovery {
+    use super::*;
+    use ses_core::{
+        Campaign, CampaignConfig, DetailedReport, DetectionModel, LatencyDistribution, Outcome,
+        RecoveryPolicy, RegionMap,
+    };
+    use ses_workloads::{fuzz_program_with, FuzzProgramSpec};
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// The region analysis partitions every trace — no gaps, no
+        /// overlaps, exact coverage — and every boundary is justified by
+        /// an actual store, output, call, or live-in overwrite at that
+        /// trace index. Checked over both fuzz-program families (plain
+        /// and store-dense) so alias-heavy traces are in the net.
+        #[test]
+        fn regions_partition_every_fuzz_trace(seed in any::<u64>(), mem_heavy in any::<bool>()) {
+            let spec = if mem_heavy {
+                FuzzProgramSpec::mem_heavy()
+            } else {
+                FuzzProgramSpec::default()
+            };
+            let program = fuzz_program_with(ses_core::splitmix64(seed), &spec);
+            let trace = Emulator::new(&program).run(500_000).unwrap();
+            prop_assert!(trace.halted());
+            let regions = RegionMap::analyze(&trace);
+            prop_assert!(!regions.is_empty());
+            if let Err(e) = regions.check_partition() {
+                prop_assert!(false, "partition violated: {e}");
+            }
+            if let Err(e) = regions.check_boundaries(&trace) {
+                prop_assert!(false, "unjustified boundary: {e}");
+            }
+        }
+    }
+
+    fn run_recovery(
+        spec: &WorkloadSpec,
+        latency: Option<LatencyDistribution>,
+        seed: u64,
+    ) -> DetailedReport {
+        let config = CampaignConfig {
+            injections: 200,
+            seed,
+            detection: DetectionModel::Parity { tracking: None },
+            recovery: if latency.is_some() {
+                RecoveryPolicy::Idempotent
+            } else {
+                RecoveryPolicy::MachineCheck
+            },
+            detect_latency: latency,
+            ..CampaignConfig::default()
+        };
+        Campaign::prepare(spec, config).expect("campaign prepares").run_detailed()
+    }
+
+    /// With zero detection latency every would-be DUE lands inside the
+    /// faulting region and recovers; DUE + SDC mass is conserved exactly
+    /// against the legacy campaign, per fault, and the SDC samples are
+    /// untouched — recovery converts detections, it never manufactures
+    /// or hides corruption.
+    #[test]
+    fn zero_latency_recovery_conserves_due_plus_sdc_per_fault() {
+        let spec = WorkloadSpec::quick("recovery-conserve", 17);
+        let legacy = run_recovery(&spec, None, 7);
+        let recovered = run_recovery(&spec, Some(LatencyDistribution::Fixed(0)), 7);
+
+        assert_eq!(legacy.samples().len(), recovered.samples().len());
+        for ((fa, a), (fb, b)) in legacy.samples().iter().zip(recovered.samples()) {
+            assert_eq!(fa, fb, "both campaigns must draw the same fault sequence");
+            match a {
+                Outcome::FalseDue | Outcome::TrueDue => {
+                    assert_eq!(*b, Outcome::Recovered, "zero-latency DUE must recover");
+                }
+                other => assert_eq!(b, other, "non-DUE outcomes must be untouched"),
+            }
+        }
+
+        let (l, r) = (legacy.summary(), recovered.summary());
+        assert_eq!(
+            r.count(Outcome::Recovered),
+            l.count(Outcome::FalseDue) + l.count(Outcome::TrueDue),
+            "recovered mass must equal the legacy DUE mass"
+        );
+        assert_eq!(r.due_avf_estimate(), 0.0);
+        assert_eq!(r.sdc_avf_estimate(), l.sdc_avf_estimate());
+        let stanza = recovered.recovery().expect("recovery stanza present");
+        assert_eq!(stanza.fallback_due, 0);
+        assert_eq!(stanza.recovered, r.count(Outcome::Recovered));
+    }
+
+    /// Recovery cost is monotone in detection latency: the detected set
+    /// is latency-independent, the recovered subset can only shrink as
+    /// signals escape their regions, and the per-recovery re-execution
+    /// charge can only grow.
+    #[test]
+    fn recovery_cost_is_monotone_in_detection_latency() {
+        let spec = WorkloadSpec::quick("recovery-monotone", 29);
+        let ladder = [0u64, 4, 16, 64, 256];
+        let reports: Vec<_> = ladder
+            .iter()
+            .map(|&l| {
+                run_recovery(&spec, Some(LatencyDistribution::Fixed(l)), 13)
+                    .recovery()
+                    .copied()
+                    .expect("recovery stanza present")
+            })
+            .collect();
+
+        let detected = reports[0].detected();
+        assert!(detected > 0, "the ladder needs detections to be meaningful");
+        for (i, r) in reports.iter().enumerate() {
+            assert_eq!(
+                r.detected(),
+                detected,
+                "latency {} must not change the detected set",
+                ladder[i]
+            );
+        }
+        for pair in reports.windows(2) {
+            assert!(
+                pair[1].recovered <= pair[0].recovered,
+                "recovered count must not rise with latency ({} -> {})",
+                pair[0].recovered,
+                pair[1].recovered
+            );
+        }
+        // Mean re-execution charge grows with latency while anything
+        // still recovers: the signal lands deeper into the region.
+        let charged: Vec<_> = reports.iter().filter(|r| r.recovered > 0).collect();
+        for pair in charged.windows(2) {
+            assert!(
+                pair[1].mean_reexec_instructions() >= pair[0].mean_reexec_instructions(),
+                "per-recovery charge must not shrink with latency"
+            );
+        }
+        assert!(
+            reports.last().unwrap().recovered < reports[0].recovered,
+            "a 256-cycle latency must push some signals past their region"
+        );
+    }
+}
+
 // --- pi-bit tracker state invariants -------------------------------------
 
 use ses_arch::DynInstr;

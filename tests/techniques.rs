@@ -160,6 +160,91 @@ fn squash_and_throttle_trade_ipc_for_mitf_on_corpus_programs() {
 }
 
 #[test]
+fn idempotent_recovery_completes_the_technique_trade_space() {
+    // Tentpole trade entry: π-bit tracking suppresses *false* DUE but is
+    // floored by the true-DUE mass; squashing pays pipeline IPC for lower
+    // exposure; idempotent-region recovery converts detected faults —
+    // including true DUE — into bounded re-execution, paying instructions
+    // only when a fault actually strikes. Pinned on two corpus programs
+    // with distinct memory behaviour:
+    //
+    //  * zero-latency recovery conserves the analytic DUE + SDC totals
+    //    exactly (every legacy DUE sample becomes Recovered, SDC is
+    //    untouched, the statistical DUE estimate reaches zero);
+    //  * at any latency, recovered + machine-check fallback equals the
+    //    legacy DUE mass — recovery re-labels detections, never invents
+    //    or loses them;
+    //  * the amortised re-execution cost sits far below the IPC loss
+    //    squashing charges on every instruction, fault or no fault.
+    use ses_core::{
+        Campaign, CampaignConfig, DetectionModel, LatencyDistribution, Outcome, RecoveryPolicy,
+    };
+    for name in ["cc", "equake"] {
+        let spec = spec_by_name(name).expect("program in suite");
+        let prepare = |latency: Option<LatencyDistribution>| {
+            Campaign::prepare(
+                &spec,
+                CampaignConfig {
+                    injections: 200,
+                    seed: 2026,
+                    detection: DetectionModel::Parity { tracking: None },
+                    recovery: if latency.is_some() {
+                        RecoveryPolicy::Idempotent
+                    } else {
+                        RecoveryPolicy::MachineCheck
+                    },
+                    detect_latency: latency,
+                    ..CampaignConfig::default()
+                },
+            )
+            .expect("campaign prepares")
+        };
+        let campaign = prepare(Some(LatencyDistribution::Fixed(0)));
+        let legacy = prepare(None).run_detailed();
+        let zero = campaign.run_detailed();
+        let latent = prepare(Some(LatencyDistribution::Fixed(12))).run_detailed();
+        let (l, z, t) = (legacy.summary(), zero.summary(), latent.summary());
+        let legacy_due = l.count(Outcome::FalseDue) + l.count(Outcome::TrueDue);
+        assert!(legacy_due > 0, "{name}: the campaign needs detections");
+
+        // Zero-latency conservation of the analytic DUE + SDC totals.
+        assert_eq!(z.due_avf_estimate(), 0.0, "{name}: zero latency recovers every DUE");
+        assert_eq!(z.count(Outcome::Recovered), legacy_due);
+        assert_eq!(z.sdc_avf_estimate(), l.sdc_avf_estimate(), "{name}: SDC untouched");
+
+        // Any-latency conservation: re-labelled, never invented or lost.
+        let rt = latent.recovery().expect("recovery stanza");
+        assert_eq!(rt.recovered + rt.fallback_due, legacy_due, "{name}: mass conserved");
+        assert!(t.due_avf_estimate() <= l.due_avf_estimate());
+
+        // π-bit tracking is floored by true DUE; recovery is not.
+        let run = run_workload(&spec, &PipelineConfig::default()).unwrap();
+        let parity = run.avf.due_avf().fraction();
+        let tracked = run.avf.due_avf_with_tracking(None, &run.dead).fraction();
+        let floor = run.avf.true_due_avf().fraction();
+        assert!(tracked < parity, "{name}: pi-bit must cut false DUE");
+        assert!(floor > 0.0, "{name}: a true-DUE floor must exist for the trade to bind");
+        assert!(tracked >= floor, "{name}: tracking cannot go below the floor");
+
+        // Recovery's amortised instruction cost versus squashing's
+        // always-on IPC cost.
+        let rz = zero.recovery().expect("recovery stanza");
+        let committed = campaign.baseline_ipc() * campaign.baseline_cycles() as f64;
+        let recovery_cost =
+            rz.reexec_instructions as f64 / (200.0 * committed);
+        let squashed =
+            run_workload(&spec, &PipelineConfig::default().with_squash(Level::L1)).unwrap();
+        let squash_loss = 1.0 - squashed.result.ipc().value() / run.result.ipc().value();
+        assert!(squash_loss > 0.0, "{name}: squashing must pay IPC");
+        assert!(
+            recovery_cost < squash_loss,
+            "{name}: amortised re-execution ({recovery_cost:.6}) must undercut \
+             the squash IPC loss ({squash_loss:.4})"
+        );
+    }
+}
+
+#[test]
 fn ecc_buys_residual_coverage_with_area_instead_of_ipc() {
     // Tentpole trade entry: the exposure-reduction techniques (squash,
     // throttle) pay IPC — and therefore MITF — for lower AVF, while an
