@@ -57,7 +57,7 @@ pub use ses_sampler::{
 pub use ses_mem::{ClassProfile, EccClass, EccDomain, EccScheme, Level, WordVerdict};
 pub use ses_metrics::{geomean, mean, RateInterval, RatePoint, ReliabilityModel, Table};
 pub use ses_metrics::{fit_to_mttf, raw_fit_per_bit, Environment, TechNode};
-pub use ses_metrics::{JsonValue, TelemetryLevel, SCHEMA_VERSION};
+pub use ses_metrics::{JsonParseError, JsonValue, TelemetryLevel, SCHEMA_VERSION};
 pub use ses_metrics::binomial_ci95;
 pub use ses_oracle::{
     check_program, run_fuzz, splitmix64, Divergence, DivergenceKind, FuzzConfig, FuzzFailure,

@@ -24,11 +24,13 @@
 
 mod environment;
 mod model;
+pub mod parse;
 mod table;
 pub mod telemetry;
 
 pub use environment::{fit_to_mttf, raw_fit_per_bit, Environment, TechNode};
 pub use model::{RateInterval, RatePoint, ReliabilityModel};
+pub use parse::JsonParseError;
 pub use table::Table;
 pub use telemetry::{JsonValue, TelemetryLevel, SCHEMA_VERSION};
 

@@ -1,0 +1,274 @@
+//! Single-flight LRU result cache with a byte budget.
+//!
+//! The cache maps a canonical job key (the full canonical request string —
+//! collisions are impossible by construction, the hash in `X-Job-Key` is a
+//! display convenience) to the rendered artifact bytes. It is
+//! *single-flight*: when several requests for the same key arrive
+//! concurrently, exactly one computes while the rest block and then reuse
+//! the stored bytes. Waiters count as hits, so under a concurrency-stress
+//! run the hit counter equals exactly `total requests − distinct jobs`.
+//!
+//! Eviction is least-recently-used by access stamp and driven purely by
+//! the byte budget, so behaviour is deterministic for a deterministic
+//! request sequence.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Snapshot of the cache counters, readable while the server is live.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Requests answered from stored bytes (includes single-flight waiters).
+    pub hits: u64,
+    /// Requests that had to compute the artifact.
+    pub misses: u64,
+    /// Entries evicted to respect the byte budget.
+    pub evictions: u64,
+    /// Artifacts too large to store under the budget (still served).
+    pub too_large: u64,
+    /// Entries currently stored.
+    pub entries: u64,
+    /// Bytes currently stored.
+    pub bytes: u64,
+    /// Configured byte budget.
+    pub budget: u64,
+}
+
+struct Entry {
+    bytes: Arc<String>,
+    stamp: u64,
+}
+
+struct Inner {
+    map: HashMap<String, Entry>,
+    /// Keys currently being computed by some thread.
+    inflight: HashMap<String, u32>,
+    stamp: u64,
+    bytes: usize,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+    too_large: u64,
+}
+
+/// Content-addressed artifact cache with single-flight computation and
+/// LRU byte-budget eviction.
+pub struct ResultCache {
+    inner: Mutex<Inner>,
+    done: Condvar,
+    budget: usize,
+}
+
+impl ResultCache {
+    /// Create a cache bounded to `budget` bytes of stored artifact text.
+    pub fn new(budget: usize) -> Self {
+        ResultCache {
+            inner: Mutex::new(Inner {
+                map: HashMap::new(),
+                inflight: HashMap::new(),
+                stamp: 0,
+                bytes: 0,
+                hits: 0,
+                misses: 0,
+                evictions: 0,
+                too_large: 0,
+            }),
+            done: Condvar::new(),
+            budget,
+        }
+    }
+
+    /// Look up `key`, computing and storing the value on a miss.
+    ///
+    /// Returns the bytes plus `true` when the request was served from the
+    /// cache (including waiting on another thread's in-flight compute).
+    /// A failed compute stores nothing and wakes any waiters, which then
+    /// retry as computers themselves.
+    pub fn get_or_compute<E>(
+        &self,
+        key: &str,
+        compute: impl FnOnce() -> Result<Arc<String>, E>,
+    ) -> Result<(Arc<String>, bool), E> {
+        let mut inner = self.inner.lock().unwrap();
+        loop {
+            if inner.map.contains_key(key) {
+                inner.stamp += 1;
+                inner.hits += 1;
+                let stamp = inner.stamp;
+                let entry = inner.map.get_mut(key).unwrap();
+                entry.stamp = stamp;
+                return Ok((Arc::clone(&entry.bytes), true));
+            }
+            if inner.inflight.contains_key(key) {
+                inner = self.done.wait(inner).unwrap();
+                continue;
+            }
+            break;
+        }
+        inner.misses += 1;
+        inner.inflight.insert(key.to_string(), 1);
+        drop(inner);
+
+        let result = compute();
+
+        let mut inner = self.inner.lock().unwrap();
+        inner.inflight.remove(key);
+        if let Ok(bytes) = &result {
+            self.insert_locked(&mut inner, key, Arc::clone(bytes));
+        }
+        drop(inner);
+        self.done.notify_all();
+        result.map(|bytes| (bytes, false))
+    }
+
+    /// Direct lookup without computing; counts as a hit when present.
+    pub fn get(&self, key: &str) -> Option<Arc<String>> {
+        let mut inner = self.inner.lock().unwrap();
+        inner.stamp += 1;
+        let stamp = inner.stamp;
+        let bytes = match inner.map.get_mut(key) {
+            Some(entry) => {
+                entry.stamp = stamp;
+                Some(Arc::clone(&entry.bytes))
+            }
+            None => None,
+        };
+        if bytes.is_some() {
+            inner.hits += 1;
+        }
+        bytes
+    }
+
+    fn insert_locked(&self, inner: &mut Inner, key: &str, bytes: Arc<String>) {
+        let size = key.len() + bytes.len();
+        if size > self.budget {
+            inner.too_large += 1;
+            return;
+        }
+        while inner.bytes + size > self.budget {
+            // Evict the least-recently-used entry.
+            let victim = inner
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.stamp)
+                .map(|(k, _)| k.clone());
+            match victim {
+                Some(k) => {
+                    if let Some(e) = inner.map.remove(&k) {
+                        inner.bytes -= k.len() + e.bytes.len();
+                        inner.evictions += 1;
+                    }
+                }
+                None => break,
+            }
+        }
+        inner.stamp += 1;
+        let stamp = inner.stamp;
+        inner.bytes += size;
+        inner.map.insert(key.to_string(), Entry { bytes, stamp });
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> CacheStats {
+        let inner = self.inner.lock().unwrap();
+        CacheStats {
+            hits: inner.hits,
+            misses: inner.misses,
+            evictions: inner.evictions,
+            too_large: inner.too_large,
+            entries: inner.map.len() as u64,
+            bytes: inner.bytes as u64,
+            budget: self.budget as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::convert::Infallible;
+
+    fn ok(v: &str) -> Result<Arc<String>, Infallible> {
+        Ok(Arc::new(v.to_string()))
+    }
+
+    #[test]
+    fn hit_after_miss_returns_same_bytes() {
+        let cache = ResultCache::new(1 << 20);
+        let (a, hit_a) = cache.get_or_compute("k", || ok("value")).unwrap();
+        let (b, hit_b) = cache
+            .get_or_compute("k", || -> Result<Arc<String>, Infallible> {
+                panic!("must not recompute")
+            })
+            .unwrap();
+        assert!(!hit_a);
+        assert!(hit_b);
+        assert_eq!(*a, *b);
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses), (1, 1));
+    }
+
+    #[test]
+    fn byte_budget_evicts_lru() {
+        // Each entry is key (2 bytes) + value (8 bytes) = 10 bytes.
+        let cache = ResultCache::new(25);
+        cache.get_or_compute("k1", || ok("aaaaaaaa")).unwrap();
+        cache.get_or_compute("k2", || ok("bbbbbbbb")).unwrap();
+        // Touch k1 so k2 is the LRU victim.
+        assert!(cache.get("k1").is_some());
+        cache.get_or_compute("k3", || ok("cccccccc")).unwrap();
+        let s = cache.stats();
+        assert_eq!(s.evictions, 1);
+        assert!(cache.get("k1").is_some());
+        assert!(cache.get("k2").is_none());
+        assert!(cache.get("k3").is_some());
+    }
+
+    #[test]
+    fn oversized_value_not_stored_but_served() {
+        let cache = ResultCache::new(4);
+        let (v, hit) = cache.get_or_compute("k", || ok("way too large")).unwrap();
+        assert!(!hit);
+        assert_eq!(*v, "way too large");
+        let s = cache.stats();
+        assert_eq!(s.too_large, 1);
+        assert_eq!(s.entries, 0);
+    }
+
+    #[test]
+    fn failed_compute_stores_nothing() {
+        let cache = ResultCache::new(1 << 20);
+        let r: Result<_, &str> = cache.get_or_compute("k", || Err("boom"));
+        assert!(r.is_err());
+        assert!(cache.get("k").is_none());
+    }
+
+    #[test]
+    fn single_flight_dedupes_concurrent_identical_jobs() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let cache = Arc::new(ResultCache::new(1 << 20));
+        let computes = Arc::new(AtomicU64::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let cache = Arc::clone(&cache);
+            let computes = Arc::clone(&computes);
+            handles.push(std::thread::spawn(move || {
+                let (v, _hit) = cache
+                    .get_or_compute("k", || {
+                        computes.fetch_add(1, Ordering::SeqCst);
+                        std::thread::sleep(std::time::Duration::from_millis(20));
+                        ok("shared")
+                    })
+                    .unwrap();
+                assert_eq!(*v, "shared");
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(computes.load(Ordering::SeqCst), 1);
+        let s = cache.stats();
+        assert_eq!(s.misses, 1);
+        assert_eq!(s.hits, 7);
+    }
+}

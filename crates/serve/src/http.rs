@@ -1,0 +1,248 @@
+//! Minimal HTTP/1.1 request/response handling on `std::net::TcpStream`.
+//!
+//! Only what the daemon needs: request-line + header parsing with hard
+//! size limits, `Content-Length` bodies, and `Connection: close`
+//! responses. Every malformed input maps to a [`HttpError`] carrying the
+//! status code the server should answer with — parsing never panics.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use ses_metrics::{JsonValue, SCHEMA_VERSION};
+
+/// Maximum accepted size of the request line plus all headers.
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// A parsed HTTP request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Request method (`GET`, `POST`, ...), uppercased as received.
+    pub method: String,
+    /// Request path, e.g. `/v1/campaign` (query strings are kept verbatim).
+    pub path: String,
+    /// Header name/value pairs; names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// Raw request body (`Content-Length` bytes).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First header value for `name` (lowercase), if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// A request-level failure with the HTTP status it maps to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpError {
+    /// HTTP status code to answer with.
+    pub status: u16,
+    /// Human-readable description, returned in the structured error body.
+    pub message: String,
+}
+
+impl HttpError {
+    /// Build an error with `status` and `message`.
+    pub fn new(status: u16, message: impl Into<String>) -> Self {
+        HttpError {
+            status,
+            message: message.into(),
+        }
+    }
+}
+
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
+        500 => "Internal Server Error",
+        _ => "Error",
+    }
+}
+
+/// Read one request from `stream`, enforcing `max_body` on the body and
+/// [`MAX_HEAD_BYTES`] on the head.
+///
+/// Truncated input (client closed before finishing the head or the
+/// promised body) yields a 400, oversized input 413, and a read timeout
+/// 408 — the caller answers with [`write_error`] and moves on.
+pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, HttpError> {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+    let mut head = Vec::with_capacity(512);
+    let mut buf = [0u8; 1024];
+    let body_start;
+    loop {
+        let n = match stream.read(&mut buf) {
+            Ok(0) => {
+                return Err(HttpError::new(
+                    400,
+                    "truncated request: connection closed before end of headers",
+                ))
+            }
+            Ok(n) => n,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                return Err(HttpError::new(408, "timed out reading request head"))
+            }
+            Err(e) => return Err(HttpError::new(400, format!("read error: {e}"))),
+        };
+        head.extend_from_slice(&buf[..n]);
+        if let Some(pos) = find_head_end(&head) {
+            body_start = pos;
+            break;
+        }
+        if head.len() > MAX_HEAD_BYTES {
+            return Err(HttpError::new(413, "request head exceeds 16 KiB"));
+        }
+    }
+
+    let head_text = std::str::from_utf8(&head[..body_start])
+        .map_err(|_| HttpError::new(400, "request head is not valid UTF-8"))?;
+    let mut lines = head_text.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split(' ');
+    let method = parts.next().unwrap_or("").to_string();
+    let path = parts.next().unwrap_or("").to_string();
+    let version = parts.next().unwrap_or("");
+    if method.is_empty() || path.is_empty() || !version.starts_with("HTTP/1.") {
+        return Err(HttpError::new(
+            400,
+            format!("malformed request line: {request_line:?}"),
+        ));
+    }
+
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(HttpError::new(400, format!("malformed header: {line:?}")));
+        };
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let content_length = match headers.iter().find(|(k, _)| k == "content-length") {
+        Some((_, v)) => v
+            .parse::<usize>()
+            .map_err(|_| HttpError::new(400, format!("invalid Content-Length: {v:?}")))?,
+        None => 0,
+    };
+    if content_length > max_body {
+        return Err(HttpError::new(
+            413,
+            format!("body of {content_length} bytes exceeds limit of {max_body}"),
+        ));
+    }
+
+    let mut body = head[body_start + 4..].to_vec();
+    while body.len() < content_length {
+        let n = match stream.read(&mut buf) {
+            Ok(0) => {
+                return Err(HttpError::new(
+                    400,
+                    "truncated request: connection closed before end of body",
+                ))
+            }
+            Ok(n) => n,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                return Err(HttpError::new(408, "timed out reading request body"))
+            }
+            Err(e) => return Err(HttpError::new(400, format!("read error: {e}"))),
+        };
+        body.extend_from_slice(&buf[..n]);
+    }
+    body.truncate(content_length);
+
+    Ok(Request {
+        method,
+        path,
+        headers,
+        body,
+    })
+}
+
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// Write a `Connection: close` response with a JSON body and optional
+/// extra headers. Write errors (client hung up mid-response) are returned
+/// for the caller to ignore — the daemon keeps serving either way.
+pub fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    extra_headers: &[(&str, &str)],
+    body: &str,
+) -> std::io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n",
+        reason(status),
+        body.len()
+    );
+    for (k, v) in extra_headers {
+        head.push_str(k);
+        head.push_str(": ");
+        head.push_str(v);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+/// Render the structured JSON error body for `err`.
+pub fn error_body(err: &HttpError) -> String {
+    let mut doc = JsonValue::object();
+    doc.set("schema_version", SCHEMA_VERSION);
+    doc.set("artifact", "error");
+    doc.set("status", u64::from(err.status));
+    doc.set("error", err.message.as_str());
+    doc.render()
+}
+
+/// Answer `err` on `stream` with its structured JSON body; write failures
+/// are swallowed (the client may already be gone).
+pub fn write_error(stream: &mut TcpStream, err: &HttpError) {
+    let body = error_body(err);
+    let _ = write_response(stream, err.status, &[], &body);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn head_end_detection() {
+        assert_eq!(find_head_end(b"GET / HTTP/1.1\r\n\r\nrest"), Some(14));
+        assert_eq!(find_head_end(b"GET / HTTP/1.1\r\n"), None);
+    }
+
+    #[test]
+    fn error_body_is_structured_json() {
+        let err = HttpError::new(404, "no such route");
+        let body = error_body(&err);
+        let doc = JsonValue::parse(&body).unwrap();
+        assert_eq!(doc.get("artifact").and_then(|v| v.as_str()), Some("error"));
+        assert_eq!(doc.get("status").and_then(|v| v.as_u64()), Some(404));
+        assert_eq!(
+            doc.get("error").and_then(|v| v.as_str()),
+            Some("no such route")
+        );
+    }
+}

@@ -1,0 +1,981 @@
+//! Wire-level job schema and execution.
+//!
+//! A [`JobSpec`] parses from a request's JSON body, validates every field
+//! (unknown keys are rejected — the canonical form is total), and executes
+//! through exactly the `ses-core` calls the CLI subcommands make. The
+//! served body is `doc.render()`, which is also byte-for-byte what
+//! `write_artifact` puts in a `--json` file, so a served artifact is
+//! identical to the CLI artifact for the same (config, workload, seed).
+//!
+//! [`JobSpec::canonical`] resolves all defaults into a deterministic
+//! string that doubles as the result-cache key: two jobs share bytes iff
+//! they share a canonical form, so cache-key collisions between distinct
+//! configs are impossible by construction. Worker-thread count is
+//! deliberately *excluded* from the canonical form — summary-level
+//! artifacts are thread-count invariant (an invariant the equivalence
+//! battery proves), so `--threads 1` and `--threads 8` requests share one
+//! cache entry.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use ses_core::telemetry as artifact;
+use ses_core::{
+    read_probability, run_ecc_campaign, run_fuzz, run_suite_with, spec_by_name, Campaign,
+    CampaignConfig, DetectionModel, EccCampaignConfig, EccDomain, EccScheme, Environment,
+    FuzzConfig, JsonValue, LatencyDistribution, Level, PatternDistribution, PipelineConfig,
+    RecoveryPolicy, ReliabilityModel, TechNode, TelemetryLevel, TrackingConfig,
+};
+
+/// A job-level failure with the HTTP status it maps to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobError {
+    /// HTTP status code (400 for bad parameters, 500 for execution
+    /// failures).
+    pub status: u16,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl JobError {
+    fn bad(message: impl Into<String>) -> JobError {
+        JobError {
+            status: 400,
+            message: message.into(),
+        }
+    }
+
+    fn internal(message: impl Into<String>) -> JobError {
+        JobError {
+            status: 500,
+            message: message.into(),
+        }
+    }
+}
+
+/// FNV-1a 64-bit hash of the canonical job string; the `X-Job-Key`
+/// display form (the cache itself is keyed by the full canonical string).
+pub fn job_key_hash(canonical: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in canonical.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Which campaign flavour a [`CampaignJob`] resolved to; mirrors the
+/// CLI's dispatch inside `cmd_campaign`/`cmd_inject`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CampaignFlavor {
+    /// Fixed-budget single-bit campaign (the CLI `inject` path).
+    Plain,
+    /// Detection-latency + recovery campaign (the CLI
+    /// `campaign --detect-latency/--recovery` path).
+    Recovery,
+    /// Multi-bit spatial campaign under an ECC domain (the CLI
+    /// `campaign --ecc/--pattern-model` path).
+    Ecc,
+}
+
+/// A validated `campaign` job.
+#[derive(Debug, Clone)]
+pub struct CampaignJob {
+    workload: String,
+    flavor: CampaignFlavor,
+    injections: u32,
+    seed: u64,
+    detection: DetectionModel,
+    model_label: &'static str,
+    detect_latency: Option<LatencyDistribution>,
+    recovery: RecoveryPolicy,
+    ecc: Option<EccScheme>,
+    spatial: Option<bool>,
+    node: Option<TechNode>,
+    env: Option<Environment>,
+    threads: usize,
+    level: TelemetryLevel,
+}
+
+/// A validated `suite` job.
+#[derive(Debug, Clone)]
+pub struct SuiteJob {
+    squash: Option<Level>,
+    throttle: Option<Level>,
+    threads: usize,
+    level: TelemetryLevel,
+}
+
+/// A validated `ecc-grid` job.
+#[derive(Debug, Clone)]
+pub struct EccGridJob {
+    workloads: Vec<String>,
+    probes: u32,
+    seed: u64,
+    level: TelemetryLevel,
+}
+
+/// A validated `fuzz` job.
+#[derive(Debug, Clone)]
+pub struct FuzzJob {
+    seed: u64,
+    iters: u64,
+    inject_every: u64,
+    shrink: bool,
+    mem_heavy: bool,
+    level: TelemetryLevel,
+}
+
+/// A parsed, validated job ready to canonicalise and execute.
+#[derive(Debug, Clone)]
+pub enum JobSpec {
+    /// Fault-injection campaign (plain, recovery, or ECC flavour).
+    Campaign(CampaignJob),
+    /// Full 26-workload suite sweep.
+    Suite(SuiteJob),
+    /// Analytic node x environment x scheme residual grid.
+    EccGrid(EccGridJob),
+    /// Differential fuzz run.
+    Fuzz(FuzzJob),
+}
+
+fn level_label(level: Level) -> &'static str {
+    match level {
+        Level::L0 => "l0",
+        Level::L1 => "l1",
+        Level::L2 => "l2",
+        Level::Memory => "memory",
+    }
+}
+
+/// Field extraction helpers over a JSON object body; every getter removes
+/// the key from `fields`, so leftovers at the end are unknown keys.
+struct Body {
+    fields: Vec<(String, JsonValue)>,
+}
+
+impl Body {
+    fn new(doc: &JsonValue) -> Result<Body, JobError> {
+        match doc {
+            JsonValue::Object(fields) => {
+                let mut seen = Vec::new();
+                for (k, _) in fields {
+                    if seen.contains(k) {
+                        return Err(JobError::bad(format!("duplicate field '{k}'")));
+                    }
+                    seen.push(k.clone());
+                }
+                Ok(Body {
+                    fields: fields.clone(),
+                })
+            }
+            _ => Err(JobError::bad("request body must be a JSON object")),
+        }
+    }
+
+    fn take(&mut self, key: &str) -> Option<JsonValue> {
+        let idx = self.fields.iter().position(|(k, _)| k == key)?;
+        Some(self.fields.remove(idx).1)
+    }
+
+    fn string(&mut self, key: &str) -> Result<Option<String>, JobError> {
+        match self.take(key) {
+            None => Ok(None),
+            Some(JsonValue::Str(s)) => Ok(Some(s)),
+            Some(other) => Err(JobError::bad(format!(
+                "field '{key}' must be a string, got {other:?}"
+            ))),
+        }
+    }
+
+    fn u64(&mut self, key: &str) -> Result<Option<u64>, JobError> {
+        match self.take(key) {
+            None => Ok(None),
+            Some(JsonValue::U64(n)) => Ok(Some(n)),
+            Some(other) => Err(JobError::bad(format!(
+                "field '{key}' must be a non-negative integer, got {other:?}"
+            ))),
+        }
+    }
+
+    fn u32(&mut self, key: &str) -> Result<Option<u32>, JobError> {
+        match self.u64(key)? {
+            None => Ok(None),
+            Some(n) => u32::try_from(n)
+                .map(Some)
+                .map_err(|_| JobError::bad(format!("field '{key}' exceeds u32"))),
+        }
+    }
+
+    fn bool(&mut self, key: &str) -> Result<Option<bool>, JobError> {
+        match self.take(key) {
+            None => Ok(None),
+            Some(JsonValue::Bool(b)) => Ok(Some(b)),
+            Some(other) => Err(JobError::bad(format!(
+                "field '{key}' must be a boolean, got {other:?}"
+            ))),
+        }
+    }
+
+    fn string_array(&mut self, key: &str) -> Result<Option<Vec<String>>, JobError> {
+        match self.take(key) {
+            None => Ok(None),
+            Some(JsonValue::Array(items)) => {
+                let mut out = Vec::with_capacity(items.len());
+                for item in items {
+                    match item {
+                        JsonValue::Str(s) => out.push(s),
+                        other => {
+                            return Err(JobError::bad(format!(
+                                "field '{key}' must be an array of strings, got element {other:?}"
+                            )))
+                        }
+                    }
+                }
+                Ok(Some(out))
+            }
+            Some(other) => Err(JobError::bad(format!(
+                "field '{key}' must be an array of strings, got {other:?}"
+            ))),
+        }
+    }
+
+    fn finish(self) -> Result<(), JobError> {
+        if let Some((k, _)) = self.fields.first() {
+            return Err(JobError::bad(format!("unknown field '{k}'")));
+        }
+        Ok(())
+    }
+}
+
+fn parse_level_field(body: &mut Body) -> Result<TelemetryLevel, JobError> {
+    let level = match body.string("level")? {
+        None => TelemetryLevel::Summary,
+        Some(s) => TelemetryLevel::parse(&s).map_err(JobError::bad)?,
+    };
+    if level == TelemetryLevel::Off {
+        return Err(JobError::bad(
+            "telemetry level 'off' produces no artifact; use summary or full",
+        ));
+    }
+    Ok(level)
+}
+
+fn parse_threads_field(body: &mut Body) -> Result<usize, JobError> {
+    match body.u64("threads")? {
+        None => Ok(0),
+        Some(n) if n <= 256 => Ok(n as usize),
+        Some(n) => Err(JobError::bad(format!("threads {n} exceeds limit of 256"))),
+    }
+}
+
+fn parse_detection(s: &str) -> Result<(DetectionModel, &'static str), JobError> {
+    match s {
+        "none" => Ok((DetectionModel::None, "none")),
+        "parity" => Ok((DetectionModel::Parity { tracking: None }, "parity")),
+        "tracking" => Ok((
+            DetectionModel::Parity {
+                tracking: Some(TrackingConfig::paper_combined()),
+            },
+            "tracking",
+        )),
+        other => Err(JobError::bad(format!(
+            "unknown model '{other}' (use none/parity/tracking)"
+        ))),
+    }
+}
+
+fn parse_cache_level(s: &str) -> Result<Level, JobError> {
+    match s {
+        "l0" | "L0" => Ok(Level::L0),
+        "l1" | "L1" => Ok(Level::L1),
+        "l2" | "L2" => Ok(Level::L2),
+        other => Err(JobError::bad(format!(
+            "unknown cache level '{other}' (use l0/l1/l2)"
+        ))),
+    }
+}
+
+fn known_workload(name: &str) -> Result<(), JobError> {
+    if spec_by_name(name).is_none() {
+        return Err(JobError::bad(format!("unknown benchmark '{name}'")));
+    }
+    Ok(())
+}
+
+impl JobSpec {
+    /// Parses a job from `kind` (the route tail, e.g. `campaign`) and a
+    /// JSON `body`. All fields are validated here; unknown fields,
+    /// duplicate fields and type mismatches are 400s.
+    pub fn parse(kind: &str, body: &JsonValue) -> Result<JobSpec, JobError> {
+        let mut body = Body::new(body)?;
+        let spec = match kind {
+            "campaign" => JobSpec::Campaign(CampaignJob::parse(&mut body)?),
+            "suite" => JobSpec::Suite(SuiteJob::parse(&mut body)?),
+            "ecc-grid" => JobSpec::EccGrid(EccGridJob::parse(&mut body)?),
+            "fuzz" => JobSpec::Fuzz(FuzzJob::parse(&mut body)?),
+            other => {
+                return Err(JobError {
+                    status: 404,
+                    message: format!(
+                        "unknown job kind '{other}' (use campaign/suite/ecc-grid/fuzz)"
+                    ),
+                })
+            }
+        };
+        body.finish()?;
+        Ok(spec)
+    }
+
+    /// The canonical form: all defaults resolved, deterministic field
+    /// order, worker-thread count excluded (it never changes bytes).
+    /// This string is the result-cache key.
+    pub fn canonical(&self) -> String {
+        match self {
+            JobSpec::Campaign(j) => {
+                let latency = j
+                    .detect_latency
+                    .as_ref()
+                    .map_or_else(|| "-".to_string(), |d| d.to_string());
+                format!(
+                    "v1/campaign workload={} injections={} seed={} model={} latency={} recovery={} ecc={} pattern={} node={} env={} level={}",
+                    j.workload,
+                    j.injections,
+                    j.seed,
+                    j.model_label,
+                    latency,
+                    j.recovery.label(),
+                    j.ecc.map_or("-", EccScheme::label),
+                    match j.spatial {
+                        None => "-",
+                        Some(true) => "spatial",
+                        Some(false) => "single",
+                    },
+                    j.node.map_or("-", TechNode::label),
+                    j.env.map_or("-", Environment::label),
+                    j.level.label(),
+                )
+            }
+            JobSpec::Suite(j) => format!(
+                "v1/suite squash={} throttle={} level={}",
+                j.squash.map_or("-", level_label),
+                j.throttle.map_or("-", level_label),
+                j.level.label(),
+            ),
+            JobSpec::EccGrid(j) => format!(
+                "v1/ecc-grid workloads={} probes={} seed={} level={}",
+                j.workloads.join(","),
+                j.probes,
+                j.seed,
+                j.level.label(),
+            ),
+            JobSpec::Fuzz(j) => format!(
+                "v1/fuzz seed={} iters={} inject_every={} shrink={} mem_heavy={} level={}",
+                j.seed, j.iters, j.inject_every, j.shrink, j.mem_heavy,
+                j.level.label(),
+            ),
+        }
+    }
+
+    /// The telemetry level the artifact is rendered at.
+    pub fn level(&self) -> TelemetryLevel {
+        match self {
+            JobSpec::Campaign(j) => j.level,
+            JobSpec::Suite(j) => j.level,
+            JobSpec::EccGrid(j) => j.level,
+            JobSpec::Fuzz(j) => j.level,
+        }
+    }
+
+    /// Whether the result is deterministic and safe to cache: summary
+    /// artifacts only (full-level artifacts may carry wall-clock
+    /// counters, so they bypass the cache).
+    pub fn cacheable(&self) -> bool {
+        self.level() == TelemetryLevel::Summary
+    }
+
+    /// Executes the job and renders the artifact — the exact bytes the
+    /// CLI writes with `--json` for the same configuration.
+    pub fn execute(&self, shared: &SharedRuns) -> Result<String, JobError> {
+        let doc = match self {
+            JobSpec::Campaign(j) => j.execute(shared)?,
+            JobSpec::Suite(j) => j.execute()?,
+            JobSpec::EccGrid(j) => j.execute()?,
+            JobSpec::Fuzz(j) => j.execute(),
+        };
+        Ok(doc.render())
+    }
+}
+
+impl CampaignJob {
+    fn parse(body: &mut Body) -> Result<CampaignJob, JobError> {
+        let workload = body
+            .string("workload")?
+            .ok_or_else(|| JobError::bad("campaign job needs a 'workload' field"))?;
+        known_workload(&workload)?;
+        let injections = body.u32("injections")?;
+        let seed = body.u64("seed")?.unwrap_or(2026);
+        let model = body.string("model")?;
+        let detect_latency = body
+            .string("detect_latency")?
+            .map(|s| s.parse::<LatencyDistribution>().map_err(JobError::bad))
+            .transpose()?;
+        let recovery = body
+            .string("recovery")?
+            .map_or(Ok(RecoveryPolicy::MachineCheck), |s| {
+                s.parse::<RecoveryPolicy>().map_err(JobError::bad)
+            })?;
+        let ecc = body
+            .string("ecc")?
+            .map(|s| EccScheme::parse(&s).map_err(JobError::bad))
+            .transpose()?;
+        let spatial = match body.string("pattern_model")?.as_deref() {
+            None => None,
+            Some("single") => Some(false),
+            Some("spatial") => Some(true),
+            Some(other) => {
+                return Err(JobError::bad(format!(
+                    "unknown pattern model '{other}' (use single/spatial)"
+                )))
+            }
+        };
+        let node = body
+            .string("node")?
+            .map(|s| TechNode::parse(&s).map_err(JobError::bad))
+            .transpose()?;
+        let env = body
+            .string("env")?
+            .map(|s| Environment::parse(&s).map_err(JobError::bad))
+            .transpose()?;
+        let threads = parse_threads_field(body)?;
+        let level = parse_level_field(body)?;
+
+        // Flavour dispatch mirrors `cmd_campaign`: latency/recovery
+        // selects the recovery campaign (detection defaults to parity),
+        // ecc/pattern selects the multi-bit campaign (detection defaults
+        // to none), anything else is the fixed-budget `inject` path.
+        let (flavor, default_injections, default_model) =
+            if recovery == RecoveryPolicy::Idempotent || detect_latency.is_some() {
+                if ecc.is_some() || spatial.is_some() {
+                    return Err(JobError::bad(
+                        "detect_latency/recovery combine with neither ecc nor pattern_model",
+                    ));
+                }
+                (CampaignFlavor::Recovery, 500, "parity")
+            } else if ecc.is_some() || spatial.is_some() {
+                (CampaignFlavor::Ecc, 1000, "none")
+            } else {
+                (CampaignFlavor::Plain, 300, "parity")
+            };
+        if flavor != CampaignFlavor::Ecc && (node.is_some() || env.is_some()) {
+            return Err(JobError::bad(
+                "node/env apply only to ecc/pattern_model campaigns",
+            ));
+        }
+        let (detection, model_label) = match model.as_deref() {
+            Some(s) => parse_detection(s)?,
+            None => parse_detection(default_model)?,
+        };
+        let injections = injections.unwrap_or(default_injections);
+        if injections > 100_000 {
+            return Err(JobError::bad(format!(
+                "injections {injections} exceeds serving limit of 100000"
+            )));
+        }
+
+        Ok(CampaignJob {
+            workload,
+            flavor,
+            injections,
+            seed,
+            detection,
+            model_label,
+            detect_latency,
+            recovery,
+            ecc,
+            spatial,
+            node,
+            env,
+            threads,
+            level,
+        })
+    }
+
+    /// The canonical form of the *prepared* state this job needs: the
+    /// golden run + snapshots (and, for detailed runs, the injection
+    /// sweep inputs). Jobs differing only in telemetry level share it.
+    fn prep_canonical(&self) -> String {
+        let config = self.campaign_config();
+        let latency = config
+            .detect_latency
+            .as_ref()
+            .map_or_else(|| "-".to_string(), |d| d.to_string());
+        format!(
+            "prep workload={} injections={} seed={} model={} latency={} recovery={}",
+            self.workload,
+            config.injections,
+            config.seed,
+            self.model_label,
+            latency,
+            config.recovery.label(),
+        )
+    }
+
+    /// The `CampaignConfig` each flavour prepares with — field-for-field
+    /// what the CLI builds.
+    fn campaign_config(&self) -> CampaignConfig {
+        match self.flavor {
+            CampaignFlavor::Plain => CampaignConfig {
+                injections: self.injections,
+                seed: self.seed,
+                detection: self.detection,
+                threads: self.threads,
+                ..CampaignConfig::default()
+            },
+            CampaignFlavor::Recovery => CampaignConfig {
+                injections: self.injections,
+                seed: self.seed,
+                detection: self.detection,
+                detect_latency: self.detect_latency.clone(),
+                recovery: self.recovery,
+                threads: self.threads,
+                ..CampaignConfig::default()
+            },
+            // The ECC flavour runs through `run_ecc_campaign`, which takes
+            // its budget from `EccCampaignConfig`; the prepared campaign
+            // only contributes the golden run (CLI leaves `injections` at
+            // its default there too).
+            CampaignFlavor::Ecc => CampaignConfig {
+                seed: self.seed,
+                detection: self.detection,
+                threads: self.threads,
+                ..CampaignConfig::default()
+            },
+        }
+    }
+
+    fn execute(&self, shared: &SharedRuns) -> Result<JsonValue, JobError> {
+        let spec = spec_by_name(&self.workload)
+            .ok_or_else(|| JobError::bad(format!("unknown benchmark '{}'", self.workload)))?;
+        let slot = shared.prepared(&self.prep_canonical(), || {
+            Campaign::prepare(&spec, self.campaign_config())
+                .map_err(|e| JobError::internal(e.to_string()))
+        })?;
+        // Detailed runs mutate shared recovery/perf counters (delta
+        // accounting), so runs on one prepared campaign are serialised;
+        // distinct campaigns still run fully in parallel.
+        let _run = slot.run_lock.lock().unwrap();
+        let campaign = &slot.campaign;
+        match self.flavor {
+            CampaignFlavor::Plain | CampaignFlavor::Recovery => {
+                let iq_entries = self.campaign_config().pipeline.iq_entries;
+                let detailed = campaign.run_detailed();
+                Ok(artifact::campaign_artifact(
+                    &self.workload,
+                    &detailed,
+                    iq_entries,
+                    self.level,
+                ))
+            }
+            CampaignFlavor::Ecc => {
+                let model = if self.node.is_some() || self.env.is_some() {
+                    ReliabilityModel::for_scenario(
+                        self.node.unwrap_or(TechNode::N28),
+                        self.env.unwrap_or(Environment::Consumer),
+                    )
+                } else {
+                    ReliabilityModel::default()
+                };
+                let cfg = EccCampaignConfig {
+                    injections: self.injections,
+                    seed: self.seed,
+                    distribution: if self.spatial == Some(false) {
+                        PatternDistribution::single_only()
+                    } else {
+                        PatternDistribution::default()
+                    },
+                    domain: EccDomain::new(self.ecc.unwrap_or(EccScheme::None)),
+                };
+                let report = run_ecc_campaign(campaign, &cfg);
+                Ok(artifact::ecc_campaign_artifact(
+                    &self.workload,
+                    &cfg,
+                    &report,
+                    campaign.baseline_ipc(),
+                    &model,
+                    self.level,
+                ))
+            }
+        }
+    }
+}
+
+impl SuiteJob {
+    fn parse(body: &mut Body) -> Result<SuiteJob, JobError> {
+        let squash = body
+            .string("squash")?
+            .map(|s| parse_cache_level(&s))
+            .transpose()?;
+        let throttle = body
+            .string("throttle")?
+            .map(|s| parse_cache_level(&s))
+            .transpose()?;
+        let threads = parse_threads_field(body)?;
+        let level = parse_level_field(body)?;
+        Ok(SuiteJob {
+            squash,
+            throttle,
+            threads,
+            level,
+        })
+    }
+
+    fn execute(&self) -> Result<JsonValue, JobError> {
+        let mut cfg = PipelineConfig::default();
+        if let Some(l) = self.squash {
+            cfg = cfg.with_squash(l);
+        }
+        if let Some(l) = self.throttle {
+            cfg = cfg.with_throttle(l);
+        }
+        // Same projection split as `cmd_suite`: full-level artifacts need
+        // the per-workload AVF decomposition from the complete run.
+        let (rows, details): (Vec<_>, Vec<_>) = if self.level == TelemetryLevel::Full {
+            run_suite_with(&cfg, self.threads, |_, run| {
+                (run.summary(), artifact::workload_detail(&run))
+            })
+            .map_err(|e| JobError::internal(e.to_string()))?
+            .into_iter()
+            .unzip()
+        } else {
+            (
+                run_suite_with(&cfg, self.threads, |_, run| run.summary())
+                    .map_err(|e| JobError::internal(e.to_string()))?,
+                Vec::new(),
+            )
+        };
+        Ok(artifact::suite_artifact(&cfg, &rows, &details, self.level))
+    }
+}
+
+impl EccGridJob {
+    fn parse(body: &mut Body) -> Result<EccGridJob, JobError> {
+        let workloads = body
+            .string_array("workloads")?
+            .ok_or_else(|| JobError::bad("ecc-grid job needs a 'workloads' array"))?;
+        if workloads.is_empty() {
+            return Err(JobError::bad("ecc-grid needs at least one benchmark name"));
+        }
+        if workloads.len() > 32 {
+            return Err(JobError::bad("ecc-grid accepts at most 32 workloads"));
+        }
+        for name in &workloads {
+            known_workload(name)?;
+        }
+        let probes = body.u32("probes")?.unwrap_or(400);
+        if probes > 100_000 {
+            return Err(JobError::bad(format!(
+                "probes {probes} exceeds serving limit of 100000"
+            )));
+        }
+        let seed = body.u64("seed")?.unwrap_or(0xECC);
+        let level = parse_level_field(body)?;
+        Ok(EccGridJob {
+            workloads,
+            probes,
+            seed,
+            level,
+        })
+    }
+
+    fn execute(&self) -> Result<JsonValue, JobError> {
+        let distribution = PatternDistribution::default();
+        let mut workloads = Vec::new();
+        for name in &self.workloads {
+            let spec = spec_by_name(name)
+                .ok_or_else(|| JobError::bad(format!("unknown benchmark '{name}'")))?;
+            let campaign = Campaign::prepare(
+                &spec,
+                CampaignConfig {
+                    injections: 0,
+                    seed: self.seed,
+                    detection: DetectionModel::None,
+                    ..CampaignConfig::default()
+                },
+            )
+            .map_err(|e| JobError::internal(e.to_string()))?;
+            let p_read = read_probability(&campaign, self.probes, self.seed);
+            workloads.push((name.clone(), campaign.baseline_ipc(), p_read, self.probes));
+        }
+        Ok(artifact::ecc_grid_artifact(
+            &distribution,
+            &workloads,
+            self.level,
+        ))
+    }
+}
+
+impl FuzzJob {
+    fn parse(body: &mut Body) -> Result<FuzzJob, JobError> {
+        let defaults = FuzzConfig::default();
+        let seed = body.u64("seed")?.unwrap_or(defaults.seed);
+        let iters = body.u64("iters")?.unwrap_or(defaults.iters);
+        if iters > 10_000 {
+            return Err(JobError::bad(format!(
+                "iters {iters} exceeds serving limit of 10000"
+            )));
+        }
+        let inject_every = body
+            .u64("inject_every")?
+            .unwrap_or(defaults.injection_every);
+        let shrink = body.bool("shrink")?.unwrap_or(defaults.shrink);
+        let mem_heavy = match body.string("mutate")?.as_deref() {
+            None => false,
+            Some("regions") => true,
+            Some(other) => {
+                return Err(JobError::bad(format!(
+                    "unknown mutation mode '{other}' (use regions)"
+                )))
+            }
+        };
+        let level = parse_level_field(body)?;
+        Ok(FuzzJob {
+            seed,
+            iters,
+            inject_every,
+            shrink,
+            mem_heavy,
+            level,
+        })
+    }
+
+    fn execute(&self) -> JsonValue {
+        let mut cfg = FuzzConfig {
+            seed: self.seed,
+            iters: self.iters,
+            shrink: self.shrink,
+            injection_every: self.inject_every,
+            ..FuzzConfig::default()
+        };
+        if self.mem_heavy {
+            cfg.program_spec = ses_workloads::FuzzProgramSpec::mem_heavy();
+        }
+        let report = run_fuzz(&cfg);
+        // Field-for-field the `cmd_fuzz` artifact (failures are counted,
+        // not written to disk — reproducers are a CLI affordance).
+        let mut doc = JsonValue::object();
+        doc.set("schema_version", ses_core::SCHEMA_VERSION)
+            .set("artifact", "fuzz")
+            .set("telemetry", self.level.label())
+            .set("seed", cfg.seed)
+            .set("iterations", report.iterations)
+            .set("injection_checks", report.injection_checks)
+            .set("total_committed", report.total_committed)
+            .set("failures", report.failures.len() as u64);
+        doc
+    }
+}
+
+/// A prepared campaign plus the lock that serialises detailed runs on it.
+pub struct CampaignSlot {
+    run_lock: Mutex<()>,
+    campaign: Campaign,
+}
+
+struct PrepEntry {
+    slot: Arc<CampaignSlot>,
+    stamp: u64,
+}
+
+/// Bounded cache of prepared campaigns (golden run + snapshots), shared
+/// across jobs so concurrent queries against one workload/config pay the
+/// golden emulation once.
+pub struct SharedRuns {
+    preps: Mutex<(HashMap<String, PrepEntry>, u64)>,
+    capacity: usize,
+}
+
+impl Default for SharedRuns {
+    fn default() -> Self {
+        SharedRuns::new(16)
+    }
+}
+
+impl SharedRuns {
+    /// A cache holding at most `capacity` prepared campaigns.
+    pub fn new(capacity: usize) -> SharedRuns {
+        SharedRuns {
+            preps: Mutex::new((HashMap::new(), 0)),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Number of prepared campaigns currently held.
+    pub fn len(&self) -> usize {
+        self.preps.lock().unwrap().0.len()
+    }
+
+    /// Whether no campaign is currently held.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn prepared(
+        &self,
+        key: &str,
+        prepare: impl FnOnce() -> Result<Campaign, JobError>,
+    ) -> Result<Arc<CampaignSlot>, JobError> {
+        {
+            let mut guard = self.preps.lock().unwrap();
+            let (map, stamp) = &mut *guard;
+            *stamp += 1;
+            if let Some(entry) = map.get_mut(key) {
+                entry.stamp = *stamp;
+                return Ok(Arc::clone(&entry.slot));
+            }
+        }
+        // Prepare outside the lock: golden emulation can take a while and
+        // unrelated jobs must not stall behind it. A racing duplicate
+        // prepare is deterministic, so last-write-wins is harmless.
+        let campaign = prepare()?;
+        let slot = Arc::new(CampaignSlot {
+            run_lock: Mutex::new(()),
+            campaign,
+        });
+        let mut guard = self.preps.lock().unwrap();
+        let (map, stamp) = &mut *guard;
+        *stamp += 1;
+        while map.len() >= self.capacity {
+            let victim = map
+                .iter()
+                .min_by_key(|(_, e)| e.stamp)
+                .map(|(k, _)| k.clone());
+            match victim {
+                Some(k) => {
+                    map.remove(&k);
+                }
+                None => break,
+            }
+        }
+        map.insert(
+            key.to_string(),
+            PrepEntry {
+                slot: Arc::clone(&slot),
+                stamp: *stamp,
+            },
+        );
+        Ok(slot)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_job(kind: &str, body: &str) -> Result<JobSpec, JobError> {
+        let doc = JsonValue::parse(body).map_err(|e| JobError::bad(e.to_string()))?;
+        JobSpec::parse(kind, &doc)
+    }
+
+    #[test]
+    fn campaign_defaults_mirror_inject() {
+        let job = parse_job("campaign", r#"{"workload": "crafty"}"#).unwrap();
+        assert_eq!(
+            job.canonical(),
+            "v1/campaign workload=crafty injections=300 seed=2026 model=parity latency=- \
+             recovery=machine-check ecc=- pattern=- node=- env=- level=summary"
+        );
+        assert!(job.cacheable());
+    }
+
+    #[test]
+    fn recovery_flavour_defaults_mirror_campaign_cli() {
+        let job = parse_job(
+            "campaign",
+            r#"{"workload": "crafty", "detect_latency": "fixed:8", "recovery": "idempotent"}"#,
+        )
+        .unwrap();
+        assert_eq!(
+            job.canonical(),
+            "v1/campaign workload=crafty injections=500 seed=2026 model=parity \
+             latency=fixed:8 recovery=idempotent ecc=- pattern=- node=- env=- level=summary"
+        );
+    }
+
+    #[test]
+    fn ecc_flavour_defaults_mirror_campaign_cli() {
+        let job = parse_job("campaign", r#"{"workload": "crafty", "ecc": "sec-ded"}"#).unwrap();
+        assert_eq!(
+            job.canonical(),
+            "v1/campaign workload=crafty injections=1000 seed=2026 model=none latency=- \
+             recovery=machine-check ecc=sec-ded pattern=- node=- env=- level=summary"
+        );
+    }
+
+    #[test]
+    fn unknown_field_rejected() {
+        let err = parse_job("campaign", r#"{"workload": "crafty", "bogus": 1}"#).unwrap_err();
+        assert_eq!(err.status, 400);
+        assert!(err.message.contains("bogus"));
+    }
+
+    #[test]
+    fn unknown_workload_rejected() {
+        let err = parse_job("campaign", r#"{"workload": "not-a-bench"}"#).unwrap_err();
+        assert_eq!(err.status, 400);
+        assert!(err.message.contains("not-a-bench"));
+    }
+
+    #[test]
+    fn conflicting_flavours_rejected() {
+        let err = parse_job(
+            "campaign",
+            r#"{"workload": "crafty", "recovery": "idempotent", "ecc": "sec"}"#,
+        )
+        .unwrap_err();
+        assert_eq!(err.status, 400);
+    }
+
+    #[test]
+    fn distinct_configs_get_distinct_keys() {
+        let a = parse_job("campaign", r#"{"workload": "crafty"}"#).unwrap();
+        let b = parse_job("campaign", r#"{"workload": "crafty", "seed": 7}"#).unwrap();
+        assert_ne!(a.canonical(), b.canonical());
+        assert_ne!(job_key_hash(&a.canonical()), job_key_hash(&b.canonical()));
+    }
+
+    #[test]
+    fn threads_excluded_from_canonical() {
+        let a = parse_job("campaign", r#"{"workload": "crafty", "threads": 1}"#).unwrap();
+        let b = parse_job("campaign", r#"{"workload": "crafty", "threads": 8}"#).unwrap();
+        assert_eq!(a.canonical(), b.canonical());
+    }
+
+    #[test]
+    fn suite_and_grid_and_fuzz_canonicals() {
+        let s = parse_job("suite", r#"{"squash": "l1"}"#).unwrap();
+        assert_eq!(s.canonical(), "v1/suite squash=l1 throttle=- level=summary");
+        let g = parse_job("ecc-grid", r#"{"workloads": ["crafty", "mcf"]}"#).unwrap();
+        assert_eq!(
+            g.canonical(),
+            "v1/ecc-grid workloads=crafty,mcf probes=400 seed=3788 level=summary"
+        );
+        let f = parse_job("fuzz", r#"{"iters": 40}"#).unwrap();
+        assert_eq!(
+            f.canonical(),
+            "v1/fuzz seed=1 iters=40 inject_every=16 shrink=true mem_heavy=false level=summary"
+        );
+    }
+
+    #[test]
+    fn full_level_is_not_cacheable() {
+        let job = parse_job("campaign", r#"{"workload": "crafty", "level": "full"}"#).unwrap();
+        assert!(!job.cacheable());
+    }
+
+    #[test]
+    fn off_level_rejected() {
+        let err = parse_job("campaign", r#"{"workload": "crafty", "level": "off"}"#).unwrap_err();
+        assert_eq!(err.status, 400);
+    }
+}

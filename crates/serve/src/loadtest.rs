@@ -1,0 +1,353 @@
+//! `ser-repro loadtest` — concurrent-client benchmark for the daemon.
+//!
+//! Drives `clients` threads against a daemon (an external one via
+//! `addr`, or an in-process one started just for the run) with a mixed
+//! set of query shapes: plain campaigns, recovery campaigns, ECC
+//! campaigns and ecc-grid probes, across several seeds. Two phases:
+//!
+//! 1. **cold** — every distinct query once, sequentially (all cache
+//!    misses: each request pays golden prep + the injection sweep);
+//! 2. **warm** — all clients issue the full mix repeatedly (all hits).
+//!
+//! Per-phase p50/p95/p99 latency, overall throughput and the daemon's
+//! cache hit rate land in `BENCH_serve.json`; the optional gate asserts
+//! the warm p50 is at least 10x below the cold p50 — the result cache
+//! must actually short-circuit job execution, not just memoise at the
+//! margin.
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use ses_metrics::{JsonValue, SCHEMA_VERSION};
+
+use crate::client::http_post;
+use crate::server::{ServeConfig, Server};
+
+/// Configuration for [`run_loadtest`].
+#[derive(Debug, Clone)]
+pub struct LoadtestConfig {
+    /// Target daemon address; `None` starts an in-process server.
+    pub addr: Option<String>,
+    /// Concurrent client threads in the warm phase.
+    pub clients: usize,
+    /// Requests each client issues in the warm phase.
+    pub requests_per_client: usize,
+    /// Workload the campaign-shaped queries run against.
+    pub workload: String,
+    /// Injection budget of the campaign-shaped queries.
+    pub injections: u32,
+    /// Distinct seeds in the mix (distinct jobs = seeds x shapes).
+    pub seeds: u64,
+    /// Worker threads for the in-process server (0 = one per core).
+    pub threads: usize,
+    /// Cache byte budget for the in-process server.
+    pub cache_bytes: usize,
+    /// Where to write the JSON report; `None` skips the file.
+    pub out: Option<PathBuf>,
+    /// Enforce the >= 10x cold-vs-warm p50 speedup gate.
+    pub gate: bool,
+}
+
+impl Default for LoadtestConfig {
+    fn default() -> Self {
+        LoadtestConfig {
+            addr: None,
+            clients: 32,
+            requests_per_client: 12,
+            workload: "crafty".to_string(),
+            injections: 120,
+            seeds: 3,
+            threads: 0,
+            cache_bytes: 64 << 20,
+            out: Some(PathBuf::from("BENCH_serve.json")),
+            gate: false,
+        }
+    }
+}
+
+/// Latency percentiles in microseconds over one phase.
+#[derive(Debug, Clone, Copy)]
+pub struct Percentiles {
+    /// Median.
+    pub p50_us: u64,
+    /// 95th percentile.
+    pub p95_us: u64,
+    /// 99th percentile.
+    pub p99_us: u64,
+    /// Sample count.
+    pub samples: u64,
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((p * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+fn percentiles(mut samples: Vec<u64>) -> Percentiles {
+    samples.sort_unstable();
+    Percentiles {
+        p50_us: percentile(&samples, 0.50),
+        p95_us: percentile(&samples, 0.95),
+        p99_us: percentile(&samples, 0.99),
+        samples: samples.len() as u64,
+    }
+}
+
+/// Result of a loadtest run.
+#[derive(Debug, Clone)]
+pub struct LoadtestReport {
+    /// Cold-phase latencies (every request a miss).
+    pub cold: Percentiles,
+    /// Warm-phase latencies (every request a hit).
+    pub warm: Percentiles,
+    /// Warm-phase throughput in requests per second.
+    pub warm_rps: f64,
+    /// cold p50 / warm p50.
+    pub speedup_p50: f64,
+    /// Cache hit rate over the whole run, from `/v1/stats`.
+    pub hit_rate: f64,
+    /// Distinct jobs in the mix.
+    pub distinct_jobs: u64,
+    /// Total requests issued (both phases).
+    pub total_requests: u64,
+}
+
+/// The mixed query shapes: body template per (shape, seed).
+fn query_mix(cfg: &LoadtestConfig) -> Vec<(String, String)> {
+    let mut mix = Vec::new();
+    for s in 0..cfg.seeds {
+        let seed = 2026 + s;
+        mix.push((
+            "campaign".to_string(),
+            format!(
+                r#"{{"workload": "{}", "injections": {}, "seed": {seed}}}"#,
+                cfg.workload, cfg.injections
+            ),
+        ));
+        mix.push((
+            "campaign".to_string(),
+            format!(
+                r#"{{"workload": "{}", "injections": {}, "seed": {seed}, "model": "none"}}"#,
+                cfg.workload, cfg.injections
+            ),
+        ));
+        mix.push((
+            "campaign".to_string(),
+            format!(
+                r#"{{"workload": "{}", "injections": {}, "seed": {seed}, "detect_latency": "fixed:8", "recovery": "idempotent"}}"#,
+                cfg.workload, cfg.injections
+            ),
+        ));
+        mix.push((
+            "campaign".to_string(),
+            format!(
+                r#"{{"workload": "{}", "injections": {}, "seed": {seed}, "ecc": "sec-ded"}}"#,
+                cfg.workload, cfg.injections
+            ),
+        ));
+        mix.push((
+            "ecc-grid".to_string(),
+            format!(
+                r#"{{"workloads": ["{}"], "probes": {}, "seed": {seed}}}"#,
+                cfg.workload, cfg.injections
+            ),
+        ));
+    }
+    mix
+}
+
+fn issue(addr: &str, kind: &str, body: &str) -> Result<u64, String> {
+    let t = Instant::now();
+    let resp = http_post(addr, &format!("/v1/{kind}"), body).map_err(|e| e.to_string())?;
+    let us = t.elapsed().as_micros() as u64;
+    if resp.status != 200 {
+        return Err(format!(
+            "loadtest request {kind} failed with {}: {}",
+            resp.status,
+            resp.body_str()
+        ));
+    }
+    Ok(us)
+}
+
+/// Runs the two-phase loadtest and writes `BENCH_serve.json`.
+///
+/// # Errors
+///
+/// Fails when the daemon can't be started/reached, a request fails, or
+/// the speedup gate is enforced and missed.
+pub fn run_loadtest(cfg: &LoadtestConfig) -> Result<LoadtestReport, String> {
+    let own_server = match &cfg.addr {
+        Some(_) => None,
+        None => Some(
+            Server::start(&ServeConfig {
+                addr: "127.0.0.1:0".to_string(),
+                threads: cfg.threads,
+                cache_bytes: cfg.cache_bytes,
+                ..ServeConfig::default()
+            })
+            .map_err(|e| format!("failed to start server: {e}"))?,
+        ),
+    };
+    let addr = match (&cfg.addr, &own_server) {
+        (Some(a), _) => a.clone(),
+        (None, Some(s)) => s.addr().to_string(),
+        (None, None) => unreachable!(),
+    };
+
+    let mix = query_mix(cfg);
+    let distinct_jobs = mix.len() as u64;
+
+    // Cold phase: each distinct query once. Sequential, so every sample
+    // is a clean measurement of one full job execution.
+    let mut cold_samples = Vec::with_capacity(mix.len());
+    for (kind, body) in &mix {
+        cold_samples.push(issue(&addr, kind, body)?);
+    }
+    let cold = percentiles(cold_samples);
+
+    // Warm phase: all clients hammer the same mix concurrently; every
+    // request should be a cache hit.
+    let warm_start = Instant::now();
+    let warm_samples: Vec<u64> = std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for c in 0..cfg.clients {
+            let addr = &addr;
+            let mix = &mix;
+            handles.push(scope.spawn(move || -> Result<Vec<u64>, String> {
+                let mut samples = Vec::with_capacity(cfg.requests_per_client);
+                for r in 0..cfg.requests_per_client {
+                    let (kind, body) = &mix[(c + r) % mix.len()];
+                    samples.push(issue(addr, kind, body)?);
+                }
+                Ok(samples)
+            }));
+        }
+        let mut all = Vec::new();
+        let mut first_err: Option<String> = None;
+        for h in handles {
+            match h.join().expect("loadtest client panicked") {
+                Ok(mut s) => all.append(&mut s),
+                Err(e) => {
+                    if first_err.is_none() {
+                        first_err = Some(e);
+                    }
+                }
+            }
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(all),
+        }
+    })?;
+    let warm_wall = warm_start.elapsed().as_secs_f64();
+    let warm_total = warm_samples.len() as u64;
+    let warm = percentiles(warm_samples);
+    let warm_rps = if warm_wall > 0.0 {
+        warm_total as f64 / warm_wall
+    } else {
+        0.0
+    };
+
+    let stats = crate::client::http_get(&addr, "/v1/stats").map_err(|e| e.to_string())?;
+    let stats_doc = JsonValue::parse(stats.body_str())
+        .map_err(|e| format!("unparseable /v1/stats response: {e}"))?;
+    let cache = stats_doc.get("cache").ok_or("stats missing cache stanza")?;
+    let hits = cache.get("hits").and_then(|v| v.as_u64()).unwrap_or(0);
+    let misses = cache.get("misses").and_then(|v| v.as_u64()).unwrap_or(0);
+    let hit_rate = if hits + misses > 0 {
+        hits as f64 / (hits + misses) as f64
+    } else {
+        0.0
+    };
+
+    if let Some(s) = own_server {
+        s.shutdown();
+    }
+
+    let speedup_p50 = if warm.p50_us > 0 {
+        cold.p50_us as f64 / warm.p50_us as f64
+    } else {
+        f64::INFINITY
+    };
+    let report = LoadtestReport {
+        cold,
+        warm,
+        warm_rps,
+        speedup_p50,
+        hit_rate,
+        distinct_jobs,
+        total_requests: distinct_jobs + warm_total,
+    };
+
+    if let Some(path) = &cfg.out {
+        let doc = render_report(cfg, &report);
+        std::fs::write(path, doc.render()).map_err(|e| format!("{}: {e}", path.display()))?;
+    }
+    if cfg.gate && report.speedup_p50 < 10.0 {
+        return Err(format!(
+            "speedup gate missed: cold p50 {}us / warm p50 {}us = {:.1}x < 10x",
+            report.cold.p50_us, report.warm.p50_us, report.speedup_p50
+        ));
+    }
+    Ok(report)
+}
+
+fn phase_value(p: &Percentiles) -> JsonValue {
+    let mut v = JsonValue::object();
+    v.set("p50_us", p.p50_us)
+        .set("p95_us", p.p95_us)
+        .set("p99_us", p.p99_us)
+        .set("samples", p.samples);
+    v
+}
+
+fn render_report(cfg: &LoadtestConfig, report: &LoadtestReport) -> JsonValue {
+    let mut doc = JsonValue::object();
+    doc.set("schema_version", SCHEMA_VERSION)
+        .set("artifact", "loadtest")
+        .set("workload", cfg.workload.as_str())
+        .set("injections", cfg.injections)
+        .set("clients", cfg.clients)
+        .set("requests_per_client", cfg.requests_per_client)
+        .set("distinct_jobs", report.distinct_jobs)
+        .set("total_requests", report.total_requests)
+        .set("cold", phase_value(&report.cold))
+        .set("warm", phase_value(&report.warm))
+        .set("warm_rps", report.warm_rps)
+        .set("speedup_p50", report.speedup_p50)
+        .set("cache_hit_rate", report.hit_rate)
+        .set("gate_speedup_min", 10.0)
+        .set("gate_enforced", cfg.gate);
+    doc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_ranks() {
+        let s: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&s, 0.50), 50);
+        assert_eq!(percentile(&s, 0.95), 95);
+        assert_eq!(percentile(&s, 0.99), 99);
+        assert_eq!(percentile(&[], 0.5), 0);
+        assert_eq!(percentile(&[7], 0.99), 7);
+    }
+
+    #[test]
+    fn mix_has_distinct_shapes_per_seed() {
+        let cfg = LoadtestConfig {
+            seeds: 2,
+            ..LoadtestConfig::default()
+        };
+        let mix = query_mix(&cfg);
+        assert_eq!(mix.len(), 10);
+        let unique: std::collections::HashSet<_> = mix.iter().collect();
+        assert_eq!(unique.len(), 10);
+    }
+}

@@ -1090,6 +1090,128 @@ fn emit_corpus(
     Ok(())
 }
 
+/// `serve` — run the campaign-as-a-service daemon in the foreground.
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let mut config = ses_serve::ServeConfig {
+        addr: "127.0.0.1:7878".to_string(),
+        ..ses_serve::ServeConfig::default()
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--addr" => {
+                config.addr = it.next().ok_or("--addr needs host:port")?.clone();
+            }
+            "--threads" => {
+                config.threads = it
+                    .next()
+                    .ok_or("--threads needs a count")?
+                    .parse()
+                    .map_err(|e| format!("bad thread count: {e}"))?;
+            }
+            "--cache-bytes" => {
+                config.cache_bytes = it
+                    .next()
+                    .ok_or("--cache-bytes needs a byte budget")?
+                    .parse()
+                    .map_err(|e| format!("bad byte budget: {e}"))?;
+            }
+            "--max-body-bytes" => {
+                config.max_body_bytes = it
+                    .next()
+                    .ok_or("--max-body-bytes needs a limit")?
+                    .parse()
+                    .map_err(|e| format!("bad limit: {e}"))?;
+            }
+            other => return Err(format!("unknown serve flag '{other}'")),
+        }
+    }
+    let server = ses_serve::Server::start(&config).map_err(|e| e.to_string())?;
+    println!("serving on http://{}", server.addr());
+    println!("routes: POST /v1/campaign /v1/suite /v1/ecc-grid /v1/fuzz  GET /v1/stats /v1/healthz");
+    // Foreground daemon: park until killed.
+    loop {
+        std::thread::park();
+    }
+}
+
+/// `loadtest` — drive a daemon with concurrent mixed-shape clients and
+/// write `BENCH_serve.json`.
+fn cmd_loadtest(args: &[String]) -> Result<(), String> {
+    let mut cfg = ses_serve::LoadtestConfig::default();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--addr" => cfg.addr = Some(it.next().ok_or("--addr needs host:port")?.clone()),
+            "--clients" => {
+                cfg.clients = it
+                    .next()
+                    .ok_or("--clients needs a count")?
+                    .parse()
+                    .map_err(|e| format!("bad count: {e}"))?;
+            }
+            "--requests" => {
+                cfg.requests_per_client = it
+                    .next()
+                    .ok_or("--requests needs a per-client count")?
+                    .parse()
+                    .map_err(|e| format!("bad count: {e}"))?;
+            }
+            "--workload" => {
+                cfg.workload = it.next().ok_or("--workload needs a name")?.clone();
+            }
+            "--injections" => {
+                cfg.injections = it
+                    .next()
+                    .ok_or("--injections needs a count")?
+                    .parse()
+                    .map_err(|e| format!("bad count: {e}"))?;
+            }
+            "--seeds" => {
+                cfg.seeds = it
+                    .next()
+                    .ok_or("--seeds needs a count")?
+                    .parse()
+                    .map_err(|e| format!("bad count: {e}"))?;
+            }
+            "--threads" => {
+                cfg.threads = it
+                    .next()
+                    .ok_or("--threads needs a count")?
+                    .parse()
+                    .map_err(|e| format!("bad thread count: {e}"))?;
+            }
+            "--out" => cfg.out = Some(PathBuf::from(it.next().ok_or("--out needs a path")?)),
+            "--no-out" => cfg.out = None,
+            "--gate" => cfg.gate = true,
+            other => return Err(format!("unknown loadtest flag '{other}'")),
+        }
+    }
+    let report = ses_serve::run_loadtest(&cfg)?;
+    println!(
+        "loadtest: {} distinct jobs, {} requests total",
+        report.distinct_jobs, report.total_requests
+    );
+    println!(
+        "cold:  p50 {}us  p95 {}us  p99 {}us  ({} samples)",
+        report.cold.p50_us, report.cold.p95_us, report.cold.p99_us, report.cold.samples
+    );
+    println!(
+        "warm:  p50 {}us  p95 {}us  p99 {}us  ({} samples)",
+        report.warm.p50_us, report.warm.p95_us, report.warm.p99_us, report.warm.samples
+    );
+    println!(
+        "throughput {:.0} req/s  cache hit rate {:.1}%  cold/warm p50 speedup {:.1}x",
+        report.warm_rps,
+        report.hit_rate * 100.0,
+        report.speedup_p50
+    );
+    if let Some(path) = &cfg.out {
+        println!("wrote {}", path.display());
+    }
+    Ok(())
+}
+
 fn usage() -> &'static str {
     "usage: ser-repro <command>\n\
      \n\
@@ -1105,6 +1227,8 @@ fn usage() -> &'static str {
        run-asm <file.s>            assemble and analyse a SES-64 program\n\
        compare [flags]             suite baseline-vs-variant comparison\n\
        fuzz [options]              differential fuzz: emulator vs pipeline\n\
+       serve [options]             campaign-as-a-service HTTP daemon\n\
+       loadtest [options]          concurrent-client benchmark against the daemon\n\
      \n\
      machine flags: --squash l0|l1    --throttle l0|l1\n\
      inject options: --injections N   --model none|parity|tracking\n\
@@ -1118,6 +1242,10 @@ fn usage() -> &'static str {
      fuzz options: --seed N  --iters N  --shrink|--no-shrink  --out DIR\n\
                    --inject-every N  --emit-corpus DIR  --corpus-count N\n\
                    --mutate regions  --region-fault ignore-acc|ignore-stores\n\
+     serve options: --addr HOST:PORT  --threads N  --cache-bytes N  --max-body-bytes N\n\
+     loadtest options: --addr HOST:PORT  --clients N  --requests N  --seeds N\n\
+                       --workload NAME  --injections N  --threads N\n\
+                       --out PATH|--no-out  --gate\n\
      artifact flags (any command): --json <path>   --telemetry off|summary|full"
 }
 
@@ -1149,6 +1277,8 @@ fn dispatch(args: &[String]) -> Result<(), String> {
         },
         Some("compare") => cmd_compare(&args[1..], &tel),
         Some("fuzz") => cmd_fuzz(&args[1..], &tel),
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("loadtest") => cmd_loadtest(&args[1..]),
         Some("help") | None => {
             println!("{}", usage());
             Ok(())
