@@ -153,6 +153,76 @@ pub fn lifetime_spans(result: &PipelineResult) -> Vec<LifetimeSpan> {
     result.residencies.iter().map(LifetimeSpan::of).collect()
 }
 
+/// Which phase of a residency a strike cycle lands in. Within one phase of
+/// one residency, every strike cycle is timing-equivalent: a live-phase
+/// strike is first observed at the entry's (single) issue read, a
+/// tail-phase strike is never read again, and both observation points are
+/// fixed absolute cycles of the golden schedule — so the fault's
+/// `(outcome, end cycle)` pair is constant across the phase. This is the
+/// span-consistent early-verdict property the campaign executor's verdict
+/// memoization keys on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StrikePhase {
+    /// `[alloc, boundary)`: the strike precedes the entry's issue read.
+    Live,
+    /// `[boundary, dealloc)`: the strike lands after the last read (or the
+    /// entry is never read at all).
+    Tail,
+}
+
+impl LifetimeSpan {
+    /// The phase a strike at `cycle` lands in. Meaningful only for cycles
+    /// inside the occupancy `[alloc, dealloc)`.
+    pub fn phase_at(&self, cycle: u64) -> StrikePhase {
+        if cycle < self.boundary() {
+            StrikePhase::Live
+        } else {
+            StrikePhase::Tail
+        }
+    }
+}
+
+/// A per-slot, binary-searchable index over a run's lifetime spans,
+/// answering "which residency (if any) holds `slot` at `cycle`" in
+/// O(log residencies-per-slot).
+///
+/// The timing model inserts before it injects and retires before it
+/// injects within a cycle, so slot occupancy at the strike point is
+/// exactly `alloc <= cycle < dealloc` — a strike outside every span hits
+/// an empty slot and is [`SlotIdle`] by construction, with no simulation
+/// needed (the campaign executor's idle shortcut).
+///
+/// [`SlotIdle`]: ses_pipeline::FaultOutcome::SlotIdle
+#[derive(Debug, Clone)]
+pub struct StrikeIndex {
+    per_slot: Vec<Vec<LifetimeSpan>>,
+}
+
+impl StrikeIndex {
+    /// Builds the index from a run's lifetime spans over `slots` queue
+    /// slots.
+    pub fn build(spans: &[LifetimeSpan], slots: usize) -> StrikeIndex {
+        let mut per_slot: Vec<Vec<LifetimeSpan>> = vec![Vec::new(); slots];
+        for &s in spans {
+            if let Some(v) = per_slot.get_mut(s.slot) {
+                v.push(s);
+            }
+        }
+        for v in &mut per_slot {
+            v.sort_unstable_by_key(|s| s.alloc);
+        }
+        StrikeIndex { per_slot }
+    }
+
+    /// The residency holding `slot` at `cycle`, if any.
+    pub fn span_at(&self, slot: usize, cycle: u64) -> Option<&LifetimeSpan> {
+        let spans = self.per_slot.get(slot)?;
+        let idx = spans.partition_point(|s| s.alloc <= cycle);
+        let cand = spans.get(idx.checked_sub(1)?)?;
+        (cycle < cand.dealloc).then_some(cand)
+    }
+}
+
 /// The queue-occupancy intervals of a timing run, as half-open
 /// `(alloc, dealloc)` cycle ranges (the raw input of
 /// [`OccupancyProfile`]-style bucketing).

@@ -14,12 +14,23 @@ use std::time::Instant;
 
 use ses_core::{
     AdaptiveCampaignConfig, AdaptiveCampaignReport, AdaptiveConfig, AdaptiveSession, Campaign,
-    CampaignConfig, CampaignReport, DetectionModel, MetricKind, UniformRun, WorkloadSpec,
+    CampaignConfig, CampaignReport, DetectionModel, MetricKind, PruneReport, TrackingConfig,
+    UniformRun, WorkloadSpec,
 };
 use ses_pipeline::{DetectionModel as PipelineDetection, Pipeline, PipelineConfig};
 
 const INJECTIONS: u32 = 1000;
 const CAMPAIGN_REPS: usize = 5;
+
+/// Interleaved rep pairs per comparison; `CAMPAIGN_SPEED_REPS=1` lets CI
+/// smoke the gates without paying for the full noise-damping schedule.
+fn reps() -> usize {
+    std::env::var("CAMPAIGN_SPEED_REPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(CAMPAIGN_REPS)
+}
 /// Aggregate 95 % half-width both samplers are driven to. Tight enough
 /// that the pilot round is a small fraction of the adaptive budget and
 /// both samplers are in their asymptotic (1/h²) regime.
@@ -62,16 +73,21 @@ fn telemetry_overhead() -> (f64, f64, f64) {
     (off, on, on / off.max(1e-12))
 }
 
-fn prepare(checkpoint_interval: Option<u64>) -> Campaign {
+fn prepare_with(checkpoint_interval: Option<u64>, detection: DetectionModel, prune: bool) -> Campaign {
     let spec = WorkloadSpec::quick("campaign-speed", 7);
     let config = CampaignConfig {
         injections: INJECTIONS,
         seed: 0xBE,
-        detection: DetectionModel::Parity { tracking: None },
+        detection,
         checkpoint_interval,
+        prune,
         ..CampaignConfig::default()
     };
     Campaign::prepare(&spec, config).expect("campaign prepare")
+}
+
+fn prepare(checkpoint_interval: Option<u64>) -> Campaign {
+    prepare_with(checkpoint_interval, DetectionModel::Parity { tracking: None }, false)
 }
 
 /// One interleaved measurement pair plus everything the report section
@@ -104,11 +120,12 @@ fn timed_campaigns() -> CampaignTiming {
     let ckpt0 = prepare(None);
     let ckpt_prepare = t.elapsed().as_secs_f64();
 
-    let mut ratios = Vec::with_capacity(CAMPAIGN_REPS);
+    let reps = reps();
+    let mut ratios = Vec::with_capacity(reps);
     let mut scratch_wall = f64::INFINITY;
     let mut ckpt_wall = f64::INFINITY;
     let mut first: Option<(CampaignReport, CampaignReport)> = None;
-    for rep in 0..CAMPAIGN_REPS {
+    for rep in 0..reps {
         let (s, c) = if rep == 0 {
             (None, None)
         } else {
@@ -145,6 +162,89 @@ fn timed_campaigns() -> CampaignTiming {
         scratch_wall,
         ckpt_wall,
         speedup,
+    }
+}
+
+/// One interleaved pruned-vs-checkpointed measurement pair.
+struct PruneTiming {
+    tracked_report: CampaignReport,
+    pruned_report: CampaignReport,
+    tracked_wall: f64,
+    pruned_wall: f64,
+    speedup: f64,
+    prune: PruneReport,
+}
+
+/// Times the convergence-pruned executor against the plain checkpointed
+/// path it extends on the standard 1000-injection crafty campaign, both
+/// under the paper's combined π-bit tracking model (the configuration
+/// whose quiescence oracle lets fingerprint pruning fire) and over the
+/// identical fault sequence. Same interleaved-pair / median-ratio
+/// discipline as [`timed_campaigns`]; each rep prepares fresh campaigns
+/// so the verdict memo starts cold.
+fn timed_pruned_campaigns() -> PruneTiming {
+    let prepare_crafty = |prune: bool| {
+        let spec = ses_core::spec_by_name("crafty").expect("crafty workload");
+        let config = CampaignConfig {
+            injections: INJECTIONS,
+            seed: 0xBE,
+            detection: DetectionModel::Parity {
+                tracking: Some(TrackingConfig::paper_combined()),
+            },
+            prune,
+            ..CampaignConfig::default()
+        };
+        Campaign::prepare(&spec, config).expect("campaign prepare")
+    };
+    let tracked0 = prepare_crafty(false);
+    let pruned0 = prepare_crafty(true);
+
+    let reps = reps();
+    let mut ratios = Vec::with_capacity(reps);
+    let mut tracked_wall = f64::INFINITY;
+    let mut pruned_wall = f64::INFINITY;
+    let mut first: Option<(CampaignReport, CampaignReport)> = None;
+    for rep in 0..reps {
+        let (t, p) = if rep == 0 {
+            (None, None)
+        } else {
+            (Some(prepare_crafty(false)), Some(prepare_crafty(true)))
+        };
+        let t_campaign = t.as_ref().unwrap_or(&tracked0);
+        let p_campaign = p.as_ref().unwrap_or(&pruned0);
+        let clock = Instant::now();
+        let tr = std::hint::black_box(t_campaign.run());
+        let tw = clock.elapsed().as_secs_f64();
+        let clock = Instant::now();
+        let pr = std::hint::black_box(p_campaign.run());
+        let pw = clock.elapsed().as_secs_f64();
+        ratios.push(tw / pw.max(1e-9));
+        tracked_wall = tracked_wall.min(tw);
+        pruned_wall = pruned_wall.min(pw);
+        match &first {
+            None => first = Some((tr, pr)),
+            Some((ft, fp)) => {
+                assert_eq!(&tr, ft, "tracked outcomes must be deterministic across reps");
+                assert_eq!(&pr, fp, "pruned outcomes must be deterministic across reps");
+            }
+        }
+    }
+    ratios.sort_by(|a, b| a.total_cmp(b));
+    let speedup = ratios[ratios.len() / 2];
+    let (tracked_report, pruned_report) = first.expect("at least one rep");
+    // The prune fold is a pure function of the fault sequence, so pulling
+    // it from a warm-memo rerun reproduces the cold-start report exactly.
+    let prune = *pruned0
+        .run_detailed()
+        .prune()
+        .expect("pruned campaign reports pruning");
+    PruneTiming {
+        tracked_report,
+        pruned_report,
+        tracked_wall,
+        pruned_wall,
+        speedup,
+        prune,
     }
 }
 
@@ -215,14 +315,14 @@ fn main() {
         scratch_prepare,
         scratch_wall,
         scratch_perf.injections_per_sec(),
-        CAMPAIGN_REPS
+        reps()
     );
     println!(
         "checkpointed:           prepare {:>8.3}s  inject {:>8.3}s  ({:>8.0} inj/s, min of {})",
         ckpt_prepare,
         ckpt_wall,
         perf.injections_per_sec(),
-        CAMPAIGN_REPS
+        reps()
     );
     println!(
         "cycles simulated:       {} (vs {} from scratch, {:.1}% skipped)",
@@ -235,7 +335,42 @@ fn main() {
         perf.replays,
         perf.replay_hit_rate() * 100.0
     );
-    println!("injection speedup:      {speedup:.2}x (median of {CAMPAIGN_REPS} interleaved pairs)");
+    println!(
+        "injection speedup:      {speedup:.2}x (median of {} interleaved pairs)",
+        reps()
+    );
+
+    println!("\n=== Campaign speed: convergence-pruned vs checkpointed injection ===");
+    println!("({INJECTIONS} injections, crafty, combined pi-bit tracking, identical fault sequence)\n");
+    let pruned = timed_pruned_campaigns();
+    assert_eq!(
+        pruned.tracked_report, pruned.pruned_report,
+        "pruned campaign must classify every fault identically"
+    );
+    println!(
+        "checkpointed (tracked): inject {:>8.3}s  (min of {})",
+        pruned.tracked_wall,
+        reps()
+    );
+    println!(
+        "pruned + batched:       inject {:>8.3}s  (min of {})",
+        pruned.pruned_wall,
+        reps()
+    );
+    println!(
+        "prune accounting:       {:.1}% of injections stopped early ({} idle, {} fp), \
+         {:.0} mean replay cycles, {:.1}% memo hits",
+        pruned.prune.stop_fraction() * 100.0,
+        pruned.prune.idle_skips,
+        pruned.prune.fp_stops,
+        pruned.prune.mean_replay_cycles(),
+        pruned.prune.memo_hit_rate() * 100.0
+    );
+    println!(
+        "pruning speedup:        {:.2}x (median of {} interleaved pairs)",
+        pruned.speedup,
+        reps()
+    );
 
     let (telemetry_off, telemetry_on, telemetry_ratio) = telemetry_overhead();
     println!(
@@ -270,6 +405,9 @@ fn main() {
          \"checkpointed_inject_wall_s\": {:.6},\n  \"speedup\": {:.3},\n  \
          \"cycles_simulated_scratch\": {},\n  \"cycles_simulated_checkpointed\": {},\n  \
          \"cycles_skip_fraction\": {:.4},\n  \"replay_hit_rate\": {:.4},\n  \
+         \"tracked_inject_wall_s\": {:.6},\n  \"pruned_inject_wall_s\": {:.6},\n  \
+         \"prune_speedup\": {:.3},\n  \"prune_stop_fraction\": {:.4},\n  \
+         \"mean_replay_cycles_pruned\": {:.1},\n  \"prune_memo_hit_rate\": {:.4},\n  \
          \"telemetry_off_wall_s\": {:.6},\n  \"telemetry_full_wall_s\": {:.6},\n  \
          \"telemetry_overhead_ratio\": {:.4},\n  \"ci_target_halfwidth\": {:.4},\n  \
          \"adaptive_achieved_halfwidth\": {:.6},\n  \"adaptive_trials\": {},\n  \
@@ -287,6 +425,12 @@ fn main() {
         perf.cycles_simulated,
         perf.skip_fraction(),
         perf.replay_hit_rate(),
+        pruned.tracked_wall,
+        pruned.pruned_wall,
+        pruned.speedup,
+        pruned.prune.stop_fraction(),
+        pruned.prune.mean_replay_cycles(),
+        pruned.prune.memo_hit_rate(),
         telemetry_off,
         telemetry_on,
         telemetry_ratio,
@@ -309,6 +453,14 @@ fn main() {
         "checkpointed campaign must be at least 3x faster ({speedup:.2}x measured)"
     );
     println!("Speedup target (>= 3x) holds.");
+
+    assert!(
+        pruned.speedup >= 3.0,
+        "pruned campaign must be at least 3x faster than the checkpointed path \
+         ({:.2}x measured)",
+        pruned.speedup
+    );
+    println!("Pruning speedup target (>= 3x) holds.");
 
     assert!(
         telemetry_ratio <= 1.05,

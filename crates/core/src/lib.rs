@@ -47,7 +47,7 @@ pub use ses_faults::{
     run_ecc_campaign, AdaptiveCampaignConfig, AdaptiveCampaignReport, AdaptiveSession, Campaign,
     CampaignConfig, CampaignPerf, CampaignReport, DetailedReport, EccCampaignConfig,
     EccCampaignReport, LatencyDistribution, MetricKind, Outcome, PatternDistribution,
-    PatternModel, RecoveryDecision, RecoveryPolicy, RecoveryReport, ResidualModel,
+    PatternModel, PruneReport, RecoveryDecision, RecoveryPolicy, RecoveryReport, ResidualModel,
     StratumReport, StrikePattern, UniformRun,
 };
 pub use ses_sampler::{

@@ -4,11 +4,11 @@
 //! Every artifact starts with the same header (`schema_version`,
 //! `artifact`, `telemetry`) and contains only deterministic quantities at
 //! [`TelemetryLevel::Summary`]: outcome counts, exact bit-cycle
-//! decompositions, IPCs, histograms — all pure functions of the workload
-//! and configuration, byte-identical across runs and thread counts.
-//! Wall-clock timings and scheduling-dependent counters (replay cache
-//! hits) appear only at [`TelemetryLevel::Full`], because they
-//! legitimately vary run to run and would poison golden files.
+//! decompositions, IPCs, histograms, convergence-pruning accounting —
+//! all pure functions of the workload and configuration, byte-identical
+//! across runs and thread counts. Wall-clock timings appear only at
+//! [`TelemetryLevel::Full`], because they legitimately vary run to run
+//! and would poison golden files.
 
 use std::io::Write as _;
 use std::path::Path;
@@ -218,12 +218,15 @@ pub fn run_artifact(
 }
 
 /// The fault-injection campaign artifact. Summary level contains only
-/// thread-count-invariant quantities; `Full` adds wall-clock timings and
-/// the scheduling-dependent replay cache-hit counter.
+/// thread-count-invariant quantities; `Full` adds wall-clock timings.
 ///
 /// The `recovery` stanza (and the `recovered` outcome key) appear only
-/// when the campaign ran with the idempotent-recovery policy — legacy
-/// (recovery-off) artifacts stay byte-identical.
+/// when the campaign ran with the idempotent-recovery policy, and the
+/// `pruning` stanza only when the campaign ran with the
+/// convergence-pruned executor — legacy (recovery-off, prune-off)
+/// artifacts stay byte-identical. Every `pruning` field is a pure
+/// function of the fault sequence, so the stanza is safe at Summary
+/// level.
 pub fn campaign_artifact(
     workload: &str,
     report: &DetailedReport,
@@ -258,6 +261,20 @@ pub fn campaign_artifact(
             .set("mean_latency_cycles", rec.mean_latency_cycles());
         doc.set("recovery", r);
     }
+    if let Some(prune) = report.prune() {
+        let mut pr = JsonValue::object();
+        pr.set("idle_skips", prune.idle_skips)
+            .set("fp_stops", prune.fp_stops)
+            .set("memo_eligible", prune.memo_eligible)
+            .set("memo_hits", prune.memo_hits)
+            .set("replay_cycles", prune.replay_cycles)
+            .set("cycles_saved", prune.cycles_saved)
+            .set("stop_fraction", prune.stop_fraction())
+            .set("mean_replay_cycles", prune.mean_replay_cycles())
+            .set("mean_cycles_saved", prune.mean_cycles_saved())
+            .set("memo_hit_rate", prune.memo_hit_rate());
+        doc.set("pruning", pr);
+    }
     let kinds: Vec<JsonValue> = report
         .failure_rate_by_bit_kind()
         .iter()
@@ -287,12 +304,10 @@ pub fn campaign_artifact(
         .set("replays", perf.replays)
         .set("replay_fast_path", perf.replay_fast_path);
     if level == TelemetryLevel::Full {
-        // Wall-clock and cache-hit counters vary with machine load and
-        // thread interleaving; never let them into golden-comparable
-        // artifacts.
+        // Wall-clock varies with machine load; never let it into
+        // golden-comparable artifacts.
         p.set("prepare_wall_s", perf.prepare_wall.as_secs_f64())
-            .set("inject_wall_s", perf.inject_wall.as_secs_f64())
-            .set("replay_cache_hits", perf.replay_cache_hits);
+            .set("inject_wall_s", perf.inject_wall.as_secs_f64());
     }
     doc.set("perf", p);
     if level == TelemetryLevel::Full {

@@ -5,11 +5,21 @@
 //! golden timing simulation once, capturing pipeline [`Snapshot`]s every
 //! `checkpoint_interval` cycles, and each injection then resumes from the
 //! latest snapshot at or before its strike cycle instead of re-simulating
-//! from cycle 0. Functional replays of corrupted words are memoized in a
-//! sharded cache shared across worker threads, so repeated
-//! `(trace position, corrupted word)` coordinates are classified once.
+//! from cycle 0.
+//!
+//! With [`CampaignConfig::prune`] the executor goes further: prepare also
+//! records a golden fingerprint stream (a rolling hash of architectural
+//! plus microarchitectural state per cycle), injections are grouped by
+//! checkpoint window and forked off a single restored snapshot per window,
+//! each faulted replay stops the moment its fingerprint rejoins the golden
+//! stream at the same cycle, strikes on provably idle coordinates resolve
+//! without simulating at all, and timing verdicts are memoized per
+//! residency equivalence class (`(slot, allocation, phase, mask, ecc)`) in
+//! a sharded map shared across worker threads. Verdicts are identical
+//! either way — debug builds assert every pruned verdict against a full
+//! legacy replay.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
@@ -19,8 +29,8 @@ use rand::{Rng, SeedableRng};
 use ses_arch::{Emulator, ExecutionTrace, RunOutcome};
 use ses_isa::{bit_kind, encode, BitKind, Program};
 use ses_pipeline::{
-    DetectionModel, FaultOutcome, FaultSpec, Occupant, Pipeline, PipelineConfig, PipelineResult,
-    Snapshot, SuppressReason,
+    DetectionModel, EccReadOutcome, FaultOutcome, FaultSpec, Occupant, Pipeline, PipelineConfig,
+    PipelineResult, PrunedWindow, Snapshot, SuppressReason,
 };
 use ses_types::{Cycle, SesError};
 use ses_workloads::{synthesize, WorkloadSpec};
@@ -29,7 +39,7 @@ use crate::outcome::Outcome;
 use crate::recovery::{
     LatencyDistribution, RecoveryCounters, RecoveryDecision, RecoveryPolicy, RecoveryReport,
 };
-use crate::report::{CampaignPerf, CampaignReport};
+use crate::report::{CampaignPerf, CampaignReport, PruneReport};
 
 /// Configuration of a fault-injection campaign.
 #[derive(Debug, Clone)]
@@ -72,6 +82,14 @@ pub struct CampaignConfig {
     /// idempotent-region re-execution when the deferred signal still lands
     /// inside the fault's region.
     pub recovery: RecoveryPolicy,
+    /// Enable the convergence-pruned, window-batched injection executor:
+    /// prepare records a per-cycle golden fingerprint stream, injections
+    /// are grouped by checkpoint window and forked off one restored
+    /// snapshot per window, and each faulted replay stops as soon as its
+    /// state fingerprint rejoins the golden stream. Off by default.
+    /// Verdicts are identical either way (asserted per injection in debug
+    /// builds); only wall-clock and the pruning telemetry stanza change.
+    pub prune: bool,
 }
 
 impl Default for CampaignConfig {
@@ -87,13 +105,19 @@ impl Default for CampaignConfig {
             threads: 0,
             detect_latency: None,
             recovery: RecoveryPolicy::MachineCheck,
+            prune: false,
         }
     }
 }
 
-/// How many replays a single corrupted functional run produced; memoized
-/// per `(trace position, corrupted word)` so the classifier never runs
-/// the same corrupted emulation twice.
+/// How a corrupted functional replay compared against the golden output.
+/// A corrupted word equal to the golden word short-circuits to
+/// `Identical` without emulating (the fast path); everything else runs
+/// the functional emulator. The former `(trace position, corrupted
+/// word)` replay cache is gone: first strikes always differ from the
+/// golden word by construction, so its hit rate was exactly zero — the
+/// pruned executor's [`VerdictMemo`] is the memoization layer that
+/// actually hits.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Replay {
     Identical,
@@ -102,33 +126,86 @@ enum Replay {
     Hang,
 }
 
-const REPLAY_SHARDS: usize = 16;
+const MEMO_SHARDS: usize = 16;
 
-/// Concurrent memoization cache for replay verdicts, sharded to keep
-/// lock contention off the injection workers' hot path.
-struct ReplayCache {
-    shards: [Mutex<HashMap<(u64, u64), Replay>>; REPLAY_SHARDS],
+/// Memoization key of one pruned-executor timing verdict. A fault's
+/// timing outcome is fully determined by the residency it lands in
+/// (`(slot, alloc)` is unique per golden run), the lifetime phase of its
+/// strike cycle, its flip mask, and the precomputed ECC-domain verdict:
+/// entries issue exactly once, so every strike cycle within one phase of
+/// one residency presents the identical corrupted word at the identical
+/// read point, and the `(outcome, end cycle)` pair is constant across
+/// the whole equivalence class.
+type MemoKey = (usize, u64, ses_avf::StrikePhase, u64, u8);
+
+/// A memoized timing verdict: `(outcome, end cycle, fingerprint-pruned)`.
+type MemoValue = (FaultOutcome, u64, bool);
+
+/// Concurrent verdict memoization for the pruned executor, sharded to
+/// keep lock contention off the injection workers' hot path.
+struct VerdictMemo {
+    shards: [Mutex<HashMap<MemoKey, MemoValue>>; MEMO_SHARDS],
 }
 
-impl ReplayCache {
+impl VerdictMemo {
     fn new() -> Self {
-        ReplayCache {
+        VerdictMemo {
             shards: std::array::from_fn(|_| Mutex::new(HashMap::new())),
         }
     }
 
-    fn shard(&self, key: (u64, u64)) -> &Mutex<HashMap<(u64, u64), Replay>> {
-        let h = (key.0 ^ key.1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
-        &self.shards[(h >> 60) as usize % REPLAY_SHARDS]
+    fn shard(&self, key: &MemoKey) -> &Mutex<HashMap<MemoKey, MemoValue>> {
+        let phase = matches!(key.2, ses_avf::StrikePhase::Tail) as u64;
+        let h = ((key.0 as u64)
+            ^ key.1.rotate_left(17)
+            ^ phase.rotate_left(33)
+            ^ key.3.rotate_left(47)
+            ^ u64::from(key.4))
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        &self.shards[(h >> 60) as usize % MEMO_SHARDS]
     }
 
-    fn get(&self, key: (u64, u64)) -> Option<Replay> {
-        self.shard(key).lock().expect("replay shard").get(&key).copied()
+    fn get(&self, key: &MemoKey) -> Option<MemoValue> {
+        self.shard(key).lock().expect("memo shard").get(key).copied()
     }
 
-    fn insert(&self, key: (u64, u64), verdict: Replay) {
-        self.shard(key).lock().expect("replay shard").insert(key, verdict);
+    fn insert(&self, key: MemoKey, value: MemoValue) {
+        self.shard(&key).lock().expect("memo shard").insert(key, value);
     }
+
+    #[cfg(test)]
+    fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("memo shard").len())
+            .sum()
+    }
+}
+
+/// How the pruned executor resolved one injection; folded in
+/// injection-index order into the deterministic [`PruneReport`], so the
+/// accounting is independent of thread scheduling.
+#[derive(Debug, Clone, Copy)]
+struct PruneMeta {
+    /// Cycle the fault's checkpoint window starts at.
+    window_start: u64,
+    kind: PruneKind,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum PruneKind {
+    /// The struck coordinate holds no residency: verdict without any
+    /// simulation.
+    Idle,
+    /// Memo-eligible fault. Hits and misses record the identical shape
+    /// (the memoized value is deterministic), so which thread computed an
+    /// entry first never shows in the artifacts; the fold counts a hit
+    /// for every occurrence of a key beyond the first in index order.
+    Memo { key: MemoKey, end: u64, pruned: bool },
+    /// The replay stopped early at the fingerprint convergence gate.
+    Pruned { end: u64 },
+    /// The replay ran to its natural end.
+    Full { end: u64 },
 }
 
 /// Monotonic work counters shared by the injection workers.
@@ -137,7 +214,6 @@ struct PerfCounters {
     cycles_simulated: AtomicU64,
     cycles_skipped: AtomicU64,
     replays: AtomicU64,
-    replay_cache_hits: AtomicU64,
     replay_fast_path: AtomicU64,
 }
 
@@ -145,7 +221,6 @@ struct CounterValues {
     cycles_simulated: u64,
     cycles_skipped: u64,
     replays: u64,
-    replay_cache_hits: u64,
     replay_fast_path: u64,
 }
 
@@ -155,7 +230,6 @@ impl PerfCounters {
             cycles_simulated: self.cycles_simulated.load(Ordering::Relaxed),
             cycles_skipped: self.cycles_skipped.load(Ordering::Relaxed),
             replays: self.replays.load(Ordering::Relaxed),
-            replay_cache_hits: self.replay_cache_hits.load(Ordering::Relaxed),
             replay_fast_path: self.replay_fast_path.load(Ordering::Relaxed),
         }
     }
@@ -179,7 +253,13 @@ pub struct Campaign {
     checkpoint_interval: u64,
     replay_budget: u64,
     prepare_wall: Duration,
-    replay_cache: ReplayCache,
+    /// Golden per-cycle fingerprint stream for the convergence gate;
+    /// empty unless [`CampaignConfig::prune`] is enabled.
+    golden_fps: Vec<u64>,
+    /// Per-slot residency interval index for the pruned executor's idle
+    /// shortcut and memo keying; built only when pruning is enabled.
+    strike_index: Option<ses_avf::StrikeIndex>,
+    memo: VerdictMemo,
     counters: PerfCounters,
     /// Idempotent-region partition of the golden trace, computed only when
     /// the recovery policy is [`RecoveryPolicy::Idempotent`].
@@ -227,19 +307,49 @@ impl Campaign {
         // detection state (PET buffer, π-bit tracker) evolves even before
         // a strike, and a resumed run must carry the same pre-strike
         // detector state a from-scratch run would have.
-        let (baseline, snapshots, checkpoint_interval) = match config.checkpoint_interval {
-            Some(0) => (pipeline.run(&program, &golden), Vec::new(), 0),
-            Some(k) => {
-                let (result, snaps) =
-                    pipeline.run_with_snapshots(&program, &golden, config.detection, k);
-                (result, snaps, k)
+        let (baseline, snapshots, checkpoint_interval, golden_fps) = if config.prune {
+            // The pruned executor also needs the golden fingerprint
+            // stream; fingerprints are pure observations, so the
+            // fingerprinted golden run is otherwise identical to the
+            // plain (or snapshotting) run.
+            match config.checkpoint_interval {
+                Some(0) => {
+                    let (result, snaps, fps) = pipeline.run_golden_fingerprinted(
+                        &program,
+                        &golden,
+                        DetectionModel::None,
+                        0,
+                    );
+                    (result, snaps, 0, fps)
+                }
+                Some(k) => {
+                    let (result, snaps, fps) =
+                        pipeline.run_golden_fingerprinted(&program, &golden, config.detection, k);
+                    (result, snaps, k, fps)
+                }
+                None => {
+                    let plain = pipeline.run(&program, &golden);
+                    let k = (plain.cycles / 64).max(1);
+                    let (result, snaps, fps) =
+                        pipeline.run_golden_fingerprinted(&program, &golden, config.detection, k);
+                    (result, snaps, k, fps)
+                }
             }
-            None => {
-                let plain = pipeline.run(&program, &golden);
-                let k = (plain.cycles / 64).max(1);
-                let (result, snaps) =
-                    pipeline.run_with_snapshots(&program, &golden, config.detection, k);
-                (result, snaps, k)
+        } else {
+            match config.checkpoint_interval {
+                Some(0) => (pipeline.run(&program, &golden), Vec::new(), 0, Vec::new()),
+                Some(k) => {
+                    let (result, snaps) =
+                        pipeline.run_with_snapshots(&program, &golden, config.detection, k);
+                    (result, snaps, k, Vec::new())
+                }
+                None => {
+                    let plain = pipeline.run(&program, &golden);
+                    let k = (plain.cycles / 64).max(1);
+                    let (result, snaps) =
+                        pipeline.run_with_snapshots(&program, &golden, config.detection, k);
+                    (result, snaps, k, Vec::new())
+                }
             }
         };
         let replay_budget = (golden.len() as u64).saturating_mul(4).max(10_000);
@@ -247,9 +357,13 @@ impl Campaign {
             RecoveryPolicy::Idempotent => Some(ses_avf::RegionMap::analyze(&golden)),
             RecoveryPolicy::MachineCheck => None,
         };
+        let lifetime_spans = ses_avf::lifetime_spans(&baseline);
+        let strike_index = config
+            .prune
+            .then(|| ses_avf::StrikeIndex::build(&lifetime_spans, config.pipeline.iq_entries));
         Ok(Campaign {
             baseline_cycles: baseline.cycles,
-            lifetime_spans: ses_avf::lifetime_spans(&baseline),
+            lifetime_spans,
             program,
             golden,
             golden_words,
@@ -258,7 +372,9 @@ impl Campaign {
             checkpoint_interval,
             replay_budget,
             prepare_wall: start.elapsed(),
-            replay_cache: ReplayCache::new(),
+            golden_fps,
+            strike_index,
+            memo: VerdictMemo::new(),
             counters: PerfCounters::default(),
             regions,
             recovery_counters: RecoveryCounters::default(),
@@ -291,7 +407,7 @@ impl Campaign {
     /// are aggregated in injection-index order regardless of thread
     /// scheduling, and the report carries [`CampaignPerf`] accounting.
     pub fn run(&self) -> CampaignReport {
-        let (outcomes, perf, _) = self.timed_run(|i| self.inject_one(i));
+        let (outcomes, perf, _, _) = self.timed_run(|_, o| o);
         let mut report = CampaignReport::from_outcomes(outcomes);
         report.set_perf(perf);
         report
@@ -302,26 +418,34 @@ impl Campaign {
     /// carry the vulnerability). Parallelised like [`Campaign::run`],
     /// with samples in deterministic injection-index order.
     pub fn run_detailed(&self) -> DetailedReport {
-        let (samples, perf, recovery) =
-            self.timed_run(|i| (self.fault_for(i), self.inject_one(i)));
+        let (samples, perf, recovery, prune) = self.timed_run(|i, o| (self.fault_for(i), o));
         DetailedReport {
             samples,
             perf,
             recovery,
+            prune,
         }
     }
 
     /// Times the injection phase of a campaign execution and attributes
     /// the counter deltas it produced (performance always, recovery
-    /// accounting when the recovery policy is active).
+    /// accounting when the recovery policy is active, pruning accounting
+    /// when the pruned executor ran). `wrap` turns each injection's
+    /// classified outcome into the caller's sample type.
     fn timed_run<T: Send>(
         &self,
-        f: impl Fn(u32) -> T + Sync,
-    ) -> (Vec<T>, CampaignPerf, Option<RecoveryReport>) {
+        wrap: impl Fn(u32, Outcome) -> T + Sync,
+    ) -> (Vec<T>, CampaignPerf, Option<RecoveryReport>, Option<PruneReport>) {
         let before = self.counters.values();
         let rec_before = self.recovery_counters.values();
         let start = Instant::now();
-        let results = self.parallel_map(self.config.injections, f);
+        let n = self.config.injections;
+        let (results, prune) = if self.config.prune {
+            let (results, report) = self.windowed_run(n, &wrap);
+            (results, Some(report))
+        } else {
+            (self.parallel_map(n, |i| wrap(i, self.inject_one(i))), None)
+        };
         let inject_wall = start.elapsed();
         let after = self.counters.values();
         let recovery = self.regions.as_ref().map(|regions| {
@@ -345,10 +469,21 @@ impl Campaign {
             cycles_simulated: after.cycles_simulated - before.cycles_simulated,
             cycles_skipped: after.cycles_skipped - before.cycles_skipped,
             replays: after.replays - before.replays,
-            replay_cache_hits: after.replay_cache_hits - before.replay_cache_hits,
             replay_fast_path: after.replay_fast_path - before.replay_fast_path,
         };
-        (results, perf, recovery)
+        (results, perf, recovery, prune)
+    }
+
+    /// Worker-thread count for a job of `n` independent units.
+    fn thread_count(&self, n: usize) -> usize {
+        let threads = if self.config.threads == 0 {
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1)
+        } else {
+            self.config.threads
+        };
+        threads.min(n).max(1)
     }
 
     /// Maps `f` over `0..n` on the configured worker threads, returning
@@ -358,14 +493,7 @@ impl Campaign {
         T: Send,
         F: Fn(u32) -> T + Sync,
     {
-        let threads = if self.config.threads == 0 {
-            std::thread::available_parallelism()
-                .map(|p| p.get())
-                .unwrap_or(1)
-        } else {
-            self.config.threads
-        };
-        let threads = threads.min(n as usize).max(1);
+        let threads = self.thread_count(n as usize);
         if threads == 1 {
             return (0..n).map(f).collect();
         }
@@ -394,6 +522,243 @@ impl Campaign {
         });
         indexed.sort_unstable_by_key(|&(i, _)| i);
         indexed.into_iter().map(|(_, v)| v).collect()
+    }
+
+    /// The window-batched pruned executor: group injections by checkpoint
+    /// window, restore each window's snapshot at most once, fork the
+    /// restored base per fault, and stop each replay at the fingerprint
+    /// convergence gate. Results come back in injection-index order and
+    /// the accounting fold runs in that order, so reports and artifacts
+    /// are byte-identical across thread counts.
+    fn windowed_run<T: Send>(
+        &self,
+        n: u32,
+        wrap: &(impl Fn(u32, Outcome) -> T + Sync),
+    ) -> (Vec<T>, PruneReport) {
+        let faults: Vec<FaultSpec> = (0..n).map(|i| self.fault_for(i)).collect();
+        // Window id = number of snapshots at or before the strike; id 0 is
+        // the from-scratch window (no snapshot precedes the strike).
+        let mut windows: BTreeMap<usize, Vec<u32>> = BTreeMap::new();
+        for (i, f) in faults.iter().enumerate() {
+            let w = self.snapshots.partition_point(|s| s.cycle() <= f.cycle);
+            windows.entry(w).or_default().push(i as u32);
+        }
+        let threads = self.thread_count(n as usize);
+        // Split oversized windows so a campaign with few checkpoints (or
+        // none) still parallelises; chunking never affects results — each
+        // chunk restores its own base, per-fault charges are pure, and the
+        // fold below runs in injection-index order.
+        let chunk = ((n as usize) / (threads * 4)).max(1);
+        let groups: Vec<(Option<&Snapshot>, Vec<u32>)> = windows
+            .into_iter()
+            .flat_map(|(w, idxs)| {
+                let snap = w.checked_sub(1).map(|j| &self.snapshots[j]);
+                idxs.chunks(chunk)
+                    .map(|c| (snap, c.to_vec()))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        let run_group = |(snap, idxs): &(Option<&Snapshot>, Vec<u32>),
+                         sink: &mut Vec<(u32, T, PruneMeta)>| {
+            // The window base is built lazily: a chunk whose faults all
+            // resolve idle or from the memo never restores its snapshot.
+            let mut window = None;
+            for &i in idxs {
+                let fault = faults[i as usize];
+                let (fo, meta) = self.window_fault(*snap, &mut window, fault);
+                sink.push((i, wrap(i, self.classify(&fault, fo)), meta));
+            }
+        };
+        let mut indexed: Vec<(u32, T, PruneMeta)> = Vec::with_capacity(n as usize);
+        let threads = threads.min(groups.len()).max(1);
+        if threads == 1 {
+            for g in &groups {
+                run_group(g, &mut indexed);
+            }
+        } else {
+            let next = AtomicU32::new(0);
+            std::thread::scope(|scope| {
+                let mut handles = Vec::new();
+                for _ in 0..threads {
+                    let next = &next;
+                    let groups = &groups;
+                    let run_group = &run_group;
+                    handles.push(scope.spawn(move || {
+                        let mut local = Vec::new();
+                        loop {
+                            let g = next.fetch_add(1, Ordering::Relaxed) as usize;
+                            if g >= groups.len() {
+                                break;
+                            }
+                            run_group(&groups[g], &mut local);
+                        }
+                        local
+                    }));
+                }
+                for h in handles {
+                    indexed.extend(h.join().expect("injection worker panicked"));
+                }
+            });
+        }
+        indexed.sort_unstable_by_key(|&(i, _, _)| i);
+        let report = self.fold_prune(n, indexed.iter().map(|(_, _, m)| *m));
+        (indexed.into_iter().map(|(_, t, _)| t).collect(), report)
+    }
+
+    /// Resolves one fault inside its checkpoint window on the pruned
+    /// path: idle shortcut, memo lookup, then a forked fingerprint-pruned
+    /// replay. Counter charges are a pure function of the fault — memo
+    /// hits and misses charge identically — so [`CampaignPerf`] stays
+    /// schedule-independent.
+    fn window_fault<'a>(
+        &'a self,
+        snap: Option<&'a Snapshot>,
+        window: &mut Option<PrunedWindow<'a>>,
+        fault: FaultSpec,
+    ) -> (FaultOutcome, PruneMeta) {
+        let window_start = snap.map_or(0, |s| s.cycle().as_u64());
+        let index = self
+            .strike_index
+            .as_ref()
+            .expect("pruned executor requires the strike index");
+        let Some(span) = index.span_at(fault.slot, fault.cycle.as_u64()) else {
+            // Nothing occupies the struck coordinate at the strike cycle:
+            // the replay would simulate to the strike only to observe
+            // SlotIdle and stop.
+            self.counters
+                .cycles_skipped
+                .fetch_add(fault.cycle.as_u64() + 1, Ordering::Relaxed);
+            self.cross_check(fault, FaultOutcome::SlotIdle);
+            return (
+                FaultOutcome::SlotIdle,
+                PruneMeta {
+                    window_start,
+                    kind: PruneKind::Idle,
+                },
+            );
+        };
+        let key = self.memo_key(&fault, span);
+        let (outcome, end, pruned) = match key.and_then(|k| self.memo.get(&k)) {
+            Some(value) => value,
+            None => {
+                let w = window.get_or_insert_with(|| {
+                    self.pipeline.pruned_window(
+                        &self.program,
+                        &self.golden,
+                        snap,
+                        self.config.detection,
+                    )
+                });
+                let run = w.run_fault(fault, &self.golden_fps);
+                if let Some(k) = key {
+                    self.memo.insert(k, (run.outcome, run.end_cycle, run.pruned));
+                }
+                (run.outcome, run.end_cycle, run.pruned)
+            }
+        };
+        self.counters
+            .cycles_simulated
+            .fetch_add(end.saturating_sub(window_start), Ordering::Relaxed);
+        let skipped = if key.is_none() && pruned {
+            window_start + self.baseline_cycles.saturating_sub(end)
+        } else {
+            window_start
+        };
+        self.counters.cycles_skipped.fetch_add(skipped, Ordering::Relaxed);
+        self.cross_check(fault, outcome);
+        let kind = match key {
+            Some(k) => PruneKind::Memo {
+                key: k,
+                end,
+                pruned,
+            },
+            None if pruned => PruneKind::Pruned { end },
+            None => PruneKind::Full { end },
+        };
+        (outcome, PruneMeta { window_start, kind })
+    }
+
+    /// The memo equivalence class of `fault` within `span`, or `None`
+    /// when memoization is unsound for it: scrubbing rewrites struck
+    /// words mid-residency and temporal double strikes depend on the
+    /// absolute strike cycle, so both always replay live.
+    fn memo_key(&self, fault: &FaultSpec, span: &ses_avf::LifetimeSpan) -> Option<MemoKey> {
+        if self.config.pipeline.scrub_period != 0 || fault.second_cycle.is_some() {
+            return None;
+        }
+        let ecc = match fault.ecc {
+            None => 0u8,
+            Some(EccReadOutcome::Signal) => 1,
+            Some(EccReadOutcome::Silent) => 2,
+        };
+        Some((
+            fault.slot,
+            span.alloc,
+            span.phase_at(fault.cycle.as_u64()),
+            fault.mask(),
+            ecc,
+        ))
+    }
+
+    /// Debug-build oracle for the pruned executor: every pruned verdict
+    /// is checked against a full legacy replay of the same fault.
+    /// Deliberately counter-free (it drives the pipeline directly instead
+    /// of going through the counting resume path) so verification never
+    /// perturbs the deterministic perf accounting.
+    fn cross_check(&self, fault: FaultSpec, got: FaultOutcome) {
+        if !cfg!(debug_assertions) {
+            return;
+        }
+        let full = match self.snapshot_for(fault.cycle) {
+            Some(snap) => self.pipeline.resume(&self.program, &self.golden, snap, Some(fault)),
+            None => self.run_from_scratch(fault),
+        };
+        let want = full.fault.expect("fault run resolves an outcome");
+        assert_eq!(
+            want, got,
+            "pruned verdict diverged from the full replay for {fault:?}"
+        );
+    }
+
+    /// Folds per-injection pruning metadata (already in injection-index
+    /// order) into the deterministic [`PruneReport`].
+    fn fold_prune(&self, injections: u32, metas: impl Iterator<Item = PruneMeta>) -> PruneReport {
+        let mut seen: HashSet<MemoKey> = HashSet::new();
+        let mut report = PruneReport {
+            injections,
+            ..PruneReport::default()
+        };
+        for meta in metas {
+            match meta.kind {
+                PruneKind::Idle => {
+                    report.idle_skips += 1;
+                    report.cycles_saved +=
+                        self.baseline_cycles.saturating_sub(meta.window_start);
+                }
+                PruneKind::Memo { key, end, pruned } => {
+                    report.memo_eligible += 1;
+                    if pruned {
+                        report.fp_stops += 1;
+                        report.cycles_saved += self.baseline_cycles.saturating_sub(end);
+                    }
+                    if seen.insert(key) {
+                        report.replay_cycles += end.saturating_sub(meta.window_start);
+                    } else {
+                        report.memo_hits += 1;
+                        report.cycles_saved += end.saturating_sub(meta.window_start);
+                    }
+                }
+                PruneKind::Pruned { end } => {
+                    report.fp_stops += 1;
+                    report.replay_cycles += end.saturating_sub(meta.window_start);
+                    report.cycles_saved += self.baseline_cycles.saturating_sub(end);
+                }
+                PruneKind::Full { end } => {
+                    report.replay_cycles += end.saturating_sub(meta.window_start);
+                }
+            }
+        }
+        report
     }
 
     /// The deterministic fault coordinates for injection `i`.
@@ -589,8 +954,21 @@ impl Campaign {
     }
 
     /// Runs the timing model for one fault, resuming from the latest
-    /// checkpoint at or before the strike when one exists.
+    /// checkpoint at or before the strike when one exists. With
+    /// [`CampaignConfig::prune`], single faults from spec-driven callers
+    /// (the adaptive scheduler, the oracles) take the pruned path too,
+    /// each building its own one-fault window; the batch executor uses
+    /// [`Campaign::windowed_run`] instead.
     fn fault_outcome(&self, fault: FaultSpec, verify: bool) -> FaultOutcome {
+        if self.config.prune {
+            // The pruned path cross-checks every injection in debug
+            // builds, subsuming `verify`'s sampled resume-vs-scratch
+            // guard.
+            let mut window = None;
+            return self
+                .window_fault(self.snapshot_for(fault.cycle), &mut window, fault)
+                .0;
+        }
         let result = match self.snapshot_for(fault.cycle) {
             Some(snap) => {
                 let resumed = self.pipeline.resume(&self.program, &self.golden, snap, Some(fault));
@@ -685,21 +1063,16 @@ impl Campaign {
     }
 
     /// Re-runs the functional emulator with the corrupted word substituted
-    /// at the given dynamic position and compares outputs. Verdicts are
-    /// memoized; a corrupted word equal to the golden word short-circuits
-    /// to `Identical` without emulating at all.
+    /// at the given dynamic position and compares outputs. A corrupted
+    /// word equal to the golden word short-circuits to `Identical`
+    /// without emulating at all.
     fn replay(&self, trace_idx: u64, corrupted_word: u64) -> Replay {
         self.counters.replays.fetch_add(1, Ordering::Relaxed);
         if self.golden_words.get(trace_idx as usize) == Some(&corrupted_word) {
             self.counters.replay_fast_path.fetch_add(1, Ordering::Relaxed);
             return Replay::Identical;
         }
-        let key = (trace_idx, corrupted_word);
-        if let Some(verdict) = self.replay_cache.get(key) {
-            self.counters.replay_cache_hits.fetch_add(1, Ordering::Relaxed);
-            return verdict;
-        }
-        let verdict = match Emulator::new(&self.program).run_with_override(
+        match Emulator::new(&self.program).run_with_override(
             trace_idx,
             corrupted_word,
             self.replay_budget,
@@ -713,9 +1086,7 @@ impl Campaign {
             }
             RunOutcome::Crashed { .. } => Replay::Crashed,
             RunOutcome::TimedOut => Replay::Hang,
-        };
-        self.replay_cache.insert(key, verdict);
-        verdict
+        }
     }
 }
 
@@ -754,6 +1125,7 @@ pub struct DetailedReport {
     samples: Vec<(FaultSpec, Outcome)>,
     perf: CampaignPerf,
     recovery: Option<RecoveryReport>,
+    prune: Option<PruneReport>,
 }
 
 impl DetailedReport {
@@ -771,6 +1143,12 @@ impl DetailedReport {
     /// campaign ran with [`RecoveryPolicy::Idempotent`].
     pub fn recovery(&self) -> Option<&RecoveryReport> {
         self.recovery.as_ref()
+    }
+
+    /// Convergence-pruning accounting for this execution, present only
+    /// when the campaign ran with [`CampaignConfig::prune`] enabled.
+    pub fn prune(&self) -> Option<&PruneReport> {
+        self.prune.as_ref()
     }
 
     /// Collapses into a plain [`CampaignReport`].
@@ -1154,6 +1532,102 @@ mod tests {
         }
         assert!(saw_recovered, "some positions must recover");
         assert!(saw_transition, "some positions must fall back at high latency");
+    }
+
+    #[test]
+    fn pruned_campaign_matches_legacy_verdicts() {
+        let spec = WorkloadSpec::quick("prune-eq", 21);
+        let tracking = TrackingConfig {
+            scope: PiScope::StoreCommit,
+            anti_pi: true,
+            pet_entries: None,
+            mem_granule: 8,
+        };
+        let base = CampaignConfig {
+            injections: 60,
+            seed: 99,
+            detection: DetectionModel::Parity {
+                tracking: Some(tracking),
+            },
+            threads: 2,
+            ..CampaignConfig::default()
+        };
+        let legacy = Campaign::prepare(&spec, base.clone()).unwrap().run_detailed();
+        let pruned = Campaign::prepare(
+            &spec,
+            CampaignConfig {
+                prune: true,
+                ..base
+            },
+        )
+        .unwrap()
+        .run_detailed();
+        assert_eq!(legacy.samples(), pruned.samples(), "verdicts must be identical");
+        assert!(legacy.prune().is_none(), "no pruning stanza without --prune");
+        let report = pruned.prune().expect("pruned run reports accounting");
+        assert_eq!(report.injections, 60);
+        assert!(report.idle_skips > 0, "random strikes hit idle coordinates");
+        assert!(
+            report.stop_fraction() > 0.0,
+            "some replays must stop before their natural end"
+        );
+    }
+
+    #[test]
+    fn pruned_executor_memoizes_same_residency_faults() {
+        let spec = WorkloadSpec::quick("prune-memo", 21);
+        let config = CampaignConfig {
+            injections: 10,
+            seed: 3,
+            detection: DetectionModel::Parity { tracking: None },
+            threads: 1,
+            prune: true,
+            ..CampaignConfig::default()
+        };
+        let c = Campaign::prepare(&spec, config).unwrap();
+        // A residency whose live phase covers at least two cycles gives
+        // two distinct strike coordinates in one equivalence class.
+        let span = c
+            .lifetime_spans()
+            .iter()
+            .find(|s| s.boundary() >= s.alloc + 2)
+            .copied()
+            .expect("some residency is live for at least two cycles");
+        let a = FaultSpec::single(Cycle::new(span.alloc), span.slot, 7);
+        let b = FaultSpec::single(Cycle::new(span.alloc + 1), span.slot, 7);
+        let before = c.memo.len();
+        let oa = c.inject_spec_quiet(a);
+        let ob = c.inject_spec_quiet(b);
+        assert_eq!(oa, ob, "one equivalence class, one verdict");
+        assert_eq!(
+            c.memo.len(),
+            before + 1,
+            "both faults must share a single memo entry"
+        );
+    }
+
+    #[test]
+    fn pruned_run_matches_across_checkpoint_geometries() {
+        let spec = WorkloadSpec::quick("prune-ckpt", 13);
+        let base = CampaignConfig {
+            injections: 30,
+            seed: 11,
+            detection: DetectionModel::Parity { tracking: None },
+            threads: 2,
+            prune: true,
+            ..CampaignConfig::default()
+        };
+        let scratch = Campaign::prepare(
+            &spec,
+            CampaignConfig {
+                checkpoint_interval: Some(0),
+                ..base.clone()
+            },
+        )
+        .unwrap()
+        .run();
+        let ckpt = Campaign::prepare(&spec, base).unwrap().run();
+        assert_eq!(scratch, ckpt);
     }
 
     #[test]

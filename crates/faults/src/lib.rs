@@ -62,4 +62,4 @@ pub use pattern::{
     class_instances, mask_for_class, PatternDistribution, ResidualModel, StrikePattern,
 };
 pub use recovery::{LatencyDistribution, RecoveryDecision, RecoveryPolicy, RecoveryReport};
-pub use report::{CampaignPerf, CampaignReport};
+pub use report::{CampaignPerf, CampaignReport, PruneReport};

@@ -8,8 +8,8 @@ use crate::outcome::Outcome;
 
 /// Performance accounting for one campaign execution: wall-clock per
 /// phase plus cycle- and replay-level counters. Quantifies how much work
-/// the checkpointed injection engine and the replay memoization cache
-/// actually saved.
+/// the checkpointed injection engine actually saved; the pruned
+/// executor's additional savings live in [`PruneReport`].
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct CampaignPerf {
     /// Wall-clock time of `Campaign::prepare` (golden runs plus snapshot
@@ -30,8 +30,6 @@ pub struct CampaignPerf {
     pub cycles_skipped: u64,
     /// Functional replays requested by the outcome classifier.
     pub replays: u64,
-    /// Replays answered from the memoization cache.
-    pub replay_cache_hits: u64,
     /// Replays short-circuited because the corrupted word equalled the
     /// golden word (trivially identical).
     pub replay_fast_path: u64,
@@ -39,13 +37,12 @@ pub struct CampaignPerf {
 
 impl CampaignPerf {
     /// Fraction of classifier replay requests answered without running
-    /// the functional emulator (golden-word fast path or memoization
-    /// cache).
+    /// the functional emulator (the golden-word fast path).
     pub fn replay_hit_rate(&self) -> f64 {
         if self.replays == 0 {
             0.0
         } else {
-            (self.replay_cache_hits + self.replay_fast_path) as f64 / self.replays as f64
+            self.replay_fast_path as f64 / self.replays as f64
         }
     }
 
@@ -67,6 +64,75 @@ impl CampaignPerf {
             0.0
         } else {
             self.injections as f64 / secs
+        }
+    }
+}
+
+/// Accounting for the convergence-pruned executor, present only when the
+/// campaign ran with pruning enabled. All fields are pure functions of
+/// the fault sequence (folded in injection-index order), so the report —
+/// and the `pruning` telemetry stanza built from it — is byte-identical
+/// across thread counts and checkpoint/resume.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PruneReport {
+    /// Injections executed by the pruned path.
+    pub injections: u32,
+    /// Injections resolved without any simulation because the struck
+    /// coordinate held no residency at the strike cycle.
+    pub idle_skips: u32,
+    /// Faulted replays stopped early because their state fingerprint
+    /// rejoined the golden stream (counted per injection, including
+    /// memoized occurrences of a pruned verdict).
+    pub fp_stops: u32,
+    /// Injections whose verdict was memoizable per residency equivalence
+    /// class (no scrubbing, no temporal double strike).
+    pub memo_eligible: u32,
+    /// Memo-eligible injections beyond the first occurrence of their
+    /// equivalence class — verdicts answered without a fresh replay.
+    pub memo_hits: u32,
+    /// Timing-model cycles the pruned path actually simulated (first
+    /// occurrences only).
+    pub replay_cycles: u64,
+    /// Timing-model cycles the pruned path avoided simulating, relative
+    /// to replaying every fault's window to the golden end of the run.
+    pub cycles_saved: u64,
+}
+
+impl PruneReport {
+    /// Fraction of injections that never ran a replay to its natural end
+    /// (idle shortcut or fingerprint stop).
+    pub fn stop_fraction(&self) -> f64 {
+        if self.injections == 0 {
+            0.0
+        } else {
+            f64::from(self.idle_skips + self.fp_stops) / f64::from(self.injections)
+        }
+    }
+
+    /// Mean timing-model cycles simulated per injection.
+    pub fn mean_replay_cycles(&self) -> f64 {
+        if self.injections == 0 {
+            0.0
+        } else {
+            self.replay_cycles as f64 / f64::from(self.injections)
+        }
+    }
+
+    /// Mean timing-model cycles avoided per injection.
+    pub fn mean_cycles_saved(&self) -> f64 {
+        if self.injections == 0 {
+            0.0
+        } else {
+            self.cycles_saved as f64 / f64::from(self.injections)
+        }
+    }
+
+    /// Fraction of memo-eligible injections answered from the memo.
+    pub fn memo_hit_rate(&self) -> f64 {
+        if self.memo_eligible == 0 {
+            0.0
+        } else {
+            f64::from(self.memo_hits) / f64::from(self.memo_eligible)
         }
     }
 }
@@ -164,7 +230,6 @@ impl CampaignReport {
         self.perf.cycles_simulated += other.perf.cycles_simulated;
         self.perf.cycles_skipped += other.perf.cycles_skipped;
         self.perf.replays += other.perf.replays;
-        self.perf.replay_cache_hits += other.perf.replay_cache_hits;
         self.perf.replay_fast_path += other.perf.replay_fast_path;
         if self.perf.checkpoint_interval == 0 {
             self.perf.checkpoint_interval = other.perf.checkpoint_interval;
@@ -185,7 +250,7 @@ impl fmt::Display for CampaignReport {
         if self.perf.inject_wall > Duration::ZERO {
             writeln!(
                 f,
-                "  perf: {:.2}s inject ({:.0}/s), {:.1}% cycles skipped, {:.1}% replays memoized",
+                "  perf: {:.2}s inject ({:.0}/s), {:.1}% cycles skipped, {:.1}% replays fast-pathed",
                 self.perf.inject_wall.as_secs_f64(),
                 self.perf.injections_per_sec(),
                 self.perf.skip_fraction() * 100.0,
@@ -261,16 +326,35 @@ mod tests {
             cycles_simulated: 250,
             cycles_skipped: 750,
             replays: 10,
-            replay_cache_hits: 3,
             replay_fast_path: 2,
             ..CampaignPerf::default()
         };
         assert!((perf.skip_fraction() - 0.75).abs() < 1e-12);
-        assert!((perf.replay_hit_rate() - 0.5).abs() < 1e-12);
+        assert!((perf.replay_hit_rate() - 0.2).abs() < 1e-12);
         assert!((perf.injections_per_sec() - 50.0).abs() < 1e-12);
         assert_eq!(CampaignPerf::default().skip_fraction(), 0.0);
         assert_eq!(CampaignPerf::default().replay_hit_rate(), 0.0);
         assert_eq!(CampaignPerf::default().injections_per_sec(), 0.0);
+    }
+
+    #[test]
+    fn prune_report_derived_rates() {
+        let p = PruneReport {
+            injections: 100,
+            idle_skips: 20,
+            fp_stops: 30,
+            memo_eligible: 90,
+            memo_hits: 9,
+            replay_cycles: 5000,
+            cycles_saved: 15_000,
+        };
+        assert!((p.stop_fraction() - 0.5).abs() < 1e-12);
+        assert!((p.mean_replay_cycles() - 50.0).abs() < 1e-12);
+        assert!((p.mean_cycles_saved() - 150.0).abs() < 1e-12);
+        assert!((p.memo_hit_rate() - 0.1).abs() < 1e-12);
+        assert_eq!(PruneReport::default().stop_fraction(), 0.0);
+        assert_eq!(PruneReport::default().mean_replay_cycles(), 0.0);
+        assert_eq!(PruneReport::default().memo_hit_rate(), 0.0);
     }
 
     #[test]

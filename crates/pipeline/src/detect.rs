@@ -626,6 +626,38 @@ impl Detector {
         false
     }
 
+    /// The outcome this detector is guaranteed to report at end of run
+    /// *if nothing it observes from here on can change its state* — the
+    /// convergence-pruning predicate.
+    ///
+    /// Returns `Some` exactly when the injected fault has fully played
+    /// out: the strike landed, parity saw it (π was set), every poisoned
+    /// location has since been overwritten (`poison_pending()` is false),
+    /// and no PET buffer holds deferred verdicts. In that state
+    /// [`PiTracker::on_commit`] can only ever return `Quiet` again (all
+    /// of its signal paths require a poisoned source), so
+    /// [`Detector::finish`] must resolve to
+    /// [`SuppressReason::DeadValueOverwritten`] no matter how the rest of
+    /// the run unfolds. The engine combines this with a
+    /// fingerprint match against the golden run to stop the replay early.
+    pub(crate) fn quiescent_verdict(&self) -> Option<FaultOutcome> {
+        if self.outcome.is_some() || !self.injected || self.pet.is_some() {
+            return None;
+        }
+        let struck = self.struck.as_ref()?;
+        if !struck.detected {
+            return None;
+        }
+        let tracker = self.tracker.as_ref()?;
+        if tracker.poison_pending() {
+            return None;
+        }
+        Some(FaultOutcome::Suppressed {
+            reason: SuppressReason::DeadValueOverwritten,
+            corruption: struck.corruption,
+        })
+    }
+
     /// Resolves the final outcome at end of run.
     pub fn finish(mut self) -> Option<FaultOutcome> {
         if self.outcome.is_some() {

@@ -23,7 +23,7 @@ use ses_mem::{AccessKind, Hierarchy, HierarchySnapshot, Level};
 use ses_types::{Cycle, Pred, Reg, SeqNo};
 
 use crate::config::{IssueOrder, PipelineConfig, SquashPolicy, ThrottlePolicy};
-use crate::detect::{DetectionModel, Detector, FaultSpec};
+use crate::detect::{DetectionModel, Detector, FaultOutcome, FaultSpec};
 use crate::frontend::{FetchedInstr, FrontEnd, FrontEndState};
 use crate::iq::{InstructionQueue, IqEntry};
 use crate::residency::{Occupant, Residency, ResidencyEnd};
@@ -82,7 +82,7 @@ impl Pipeline {
         if engine.cfg.warm_caches {
             engine.warm_caches();
         }
-        let (result, _, stages) = engine.run_core(Cycle::ZERO, 0);
+        let (result, _, stages, _) = engine.run_core(Cycle::ZERO, 0);
         (result, stages.expect("instrumented run keeps its collector"))
     }
 
@@ -149,6 +149,123 @@ impl Pipeline {
         Engine::from_snapshot(&self.config, program, trace, snapshot, fault)
             .run_core(snapshot.cycle, 0)
             .0
+    }
+
+    /// Runs the fault-free timing model under `detection` while recording
+    /// the per-cycle state fingerprint stream consumed by convergence
+    /// pruning, capturing a [`Snapshot`] every `interval` cycles
+    /// (`interval = 0` captures none). `fingerprints[c]` is the overlay
+    /// fingerprint at the top of cycle `c`; the stream's length is the
+    /// run's cycle count. The fingerprint covers only fault-reachable
+    /// state (commit count, occupied queue words, π bits), none of which
+    /// a detection model touches on a fault-free run, so the stream is
+    /// detection-model-independent.
+    pub fn run_golden_fingerprinted(
+        &self,
+        program: &Program,
+        trace: &ExecutionTrace,
+        detection: DetectionModel,
+        interval: u64,
+    ) -> (PipelineResult, Vec<Snapshot>, Vec<u64>) {
+        let mut engine = Engine::new(&self.config, program, trace, None, detection);
+        engine.fingerprints = Some(Vec::new());
+        if engine.cfg.warm_caches {
+            engine.warm_caches();
+        }
+        let (result, snapshots, _, fps) = engine.run_core(Cycle::ZERO, interval);
+        (result, snapshots, fps.expect("fingerprint collection was enabled"))
+    }
+
+    /// Prepares a batch base for one checkpoint window: the engine state
+    /// at the window's start, restored **once** and then forked per fault
+    /// by [`PrunedWindow::run_fault`]. `snapshot = None` means the window
+    /// starts at cycle 0 from a fresh (cache-warmed) engine under
+    /// `detection`; with a snapshot, the detector state (and with it the
+    /// detection model) comes from the snapshot and `detection` is
+    /// ignored, mirroring [`Pipeline::resume`].
+    pub fn pruned_window<'a>(
+        &'a self,
+        program: &'a Program,
+        trace: &'a ExecutionTrace,
+        snapshot: Option<&Snapshot>,
+        detection: DetectionModel,
+    ) -> PrunedWindow<'a> {
+        let (base, start) = match snapshot {
+            Some(s) => (
+                Engine::from_snapshot_inner(&self.config, program, trace, s, None, false),
+                s.cycle(),
+            ),
+            None => {
+                let mut e = Engine::new(&self.config, program, trace, None, detection);
+                if e.cfg.warm_caches {
+                    e.warm_caches();
+                }
+                (e, Cycle::ZERO)
+            }
+        };
+        PrunedWindow {
+            program,
+            trace,
+            base,
+            start,
+        }
+    }
+}
+
+/// The outcome of one convergence-pruned fault replay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PrunedRun {
+    /// The fault's resolved outcome — identical to what a full replay
+    /// would report (the pruning gate only fires when the verdict is
+    /// already decided).
+    pub outcome: FaultOutcome,
+    /// The cycle the replay stopped: the reconvergence cycle when
+    /// `pruned`, otherwise the run's natural end.
+    pub end_cycle: u64,
+    /// Whether the replay stopped at the reconvergence gate rather than
+    /// running to completion.
+    pub pruned: bool,
+}
+
+/// A restored-once, forked-per-fault batch base for all injections whose
+/// strike cycle falls in one checkpoint window.
+///
+/// Built by [`Pipeline::pruned_window`]; each [`PrunedWindow::run_fault`]
+/// clones the base state (cheap: the base has an empty residency log) and
+/// replays with convergence pruning. Restoring the snapshot once per
+/// window instead of once per fault amortizes the dominant restore cost
+/// across the whole batch.
+pub struct PrunedWindow<'a> {
+    program: &'a Program,
+    trace: &'a ExecutionTrace,
+    base: Engine<'a>,
+    start: Cycle,
+}
+
+impl PrunedWindow<'_> {
+    /// The cycle this window's base state corresponds to; every fault run
+    /// from this window replays `[start_cycle, end_cycle)`.
+    pub fn start_cycle(&self) -> u64 {
+        self.start.as_u64()
+    }
+
+    /// Replays `fault` from the window base with convergence pruning
+    /// against the golden fingerprint stream `golden_fps` (as produced by
+    /// [`Pipeline::run_golden_fingerprinted`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fault` strikes before the window's start cycle.
+    pub fn run_fault(&self, fault: FaultSpec, golden_fps: &[u64]) -> PrunedRun {
+        assert!(
+            fault.cycle >= self.start,
+            "fault at {:?} strikes before window start {:?}",
+            fault.cycle,
+            self.start
+        );
+        self.base
+            .fork(self.program, self.trace, fault)
+            .run_pruned(self.start, golden_fps)
     }
 }
 
@@ -224,7 +341,19 @@ struct Engine<'a> {
     stop_early: bool,
     /// Per-stage telemetry; `None` keeps collection zero-cost.
     stages: Option<StageCounters>,
+    /// Per-cycle state fingerprints; `None` keeps collection zero-cost.
+    fingerprints: Option<Vec<u64>>,
 }
+
+/// FNV-1a step over one 64-bit quantity (word-at-a-time: the stream is
+/// compared for equality, never used as a table hash, so the weaker
+/// per-word mixing is fine and ~8x cheaper than byte-wise FNV).
+#[inline]
+fn fnv1a(h: u64, v: u64) -> u64 {
+    (h ^ v).wrapping_mul(0x0000_0100_0000_01B3)
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 
 impl<'a> Engine<'a> {
     fn new(
@@ -252,6 +381,7 @@ impl<'a> Engine<'a> {
             detector: Detector::new(detection),
             stop_early: false,
             stages: None,
+            fingerprints: None,
         }
     }
 
@@ -265,12 +395,31 @@ impl<'a> Engine<'a> {
         snapshot: &Snapshot,
         fault: Option<FaultSpec>,
     ) -> Self {
+        Engine::from_snapshot_inner(cfg, program, trace, snapshot, fault, true)
+    }
+
+    /// [`Engine::from_snapshot`], optionally skipping the pre-snapshot
+    /// residency-log copy. Copying that log is the dominant cost of a
+    /// restore; a pruned-window run never consumes its residencies, so the
+    /// batched executor restores lean (`with_residencies = false`). A lean
+    /// engine's `into_residencies` is truncated to the post-restore tail
+    /// and must never feed AVF analysis.
+    fn from_snapshot_inner(
+        cfg: &'a PipelineConfig,
+        program: &'a Program,
+        trace: &'a ExecutionTrace,
+        snapshot: &Snapshot,
+        fault: Option<FaultSpec>,
+        with_residencies: bool,
+    ) -> Self {
         let mut engine = Engine::new(cfg, program, trace, fault, DetectionModel::None);
         engine.frontend.restore_state(&snapshot.frontend);
         engine.iq = snapshot.iq.clone_without_residencies();
-        engine
-            .iq
-            .set_residencies(snapshot.residency_log[..snapshot.residency_prefix].to_vec());
+        if with_residencies {
+            engine
+                .iq
+                .set_residencies(snapshot.residency_log[..snapshot.residency_prefix].to_vec());
+        }
         engine.hierarchy.restore(&snapshot.hierarchy);
         engine.reg_ready = snapshot.reg_ready;
         engine.pred_ready = snapshot.pred_ready;
@@ -295,7 +444,7 @@ impl<'a> Engine<'a> {
         if self.cfg.warm_caches {
             self.warm_caches();
         }
-        let (result, snapshots, _) = self.run_core(Cycle::ZERO, interval);
+        let (result, snapshots, _, _) = self.run_core(Cycle::ZERO, interval);
         (result, snapshots)
     }
 
@@ -308,7 +457,12 @@ impl<'a> Engine<'a> {
         mut self,
         start: Cycle,
         interval: u64,
-    ) -> (PipelineResult, Vec<Snapshot>, Option<StageCounters>) {
+    ) -> (
+        PipelineResult,
+        Vec<Snapshot>,
+        Option<StageCounters>,
+        Option<Vec<u64>>,
+    ) {
         let mut snapshots = Vec::new();
         let mut now = start;
         let total = self.trace.len() as u64;
@@ -317,6 +471,10 @@ impl<'a> Engine<'a> {
             if now.as_u64() >= self.cfg.max_cycles {
                 budget_exhausted = true;
                 break;
+            }
+            if self.fingerprints.is_some() {
+                let fp = self.overlay_fingerprint();
+                self.fingerprints.as_mut().expect("checked above").push(fp);
             }
             if interval > 0 && now.as_u64().is_multiple_of(interval) {
                 snapshots.push(self.capture(now));
@@ -370,7 +528,121 @@ impl<'a> Engine<'a> {
             budget_exhausted,
             residencies,
         };
-        (result, snapshots, self.stages)
+        (result, snapshots, self.stages, self.fingerprints)
+    }
+
+    /// A cheap rolling FNV-1a hash of the machine state the fault overlay
+    /// can touch: the commit count plus, for each occupied queue slot in
+    /// age order, its slot index, sequence number, stored word, and π bit.
+    ///
+    /// An injected fault perturbs nothing but the struck word, the π bit,
+    /// and the detector's own bookkeeping — timing is bit-identical to the
+    /// golden run until an outcome stops it early — so equality of this
+    /// fingerprint at an equal cycle, together with a quiescent detector
+    /// ([`Detector::quiescent_verdict`]), proves the remainder of the
+    /// faulted run replays the golden tail exactly.
+    fn overlay_fingerprint(&self) -> u64 {
+        let mut h = fnv1a(FNV_OFFSET, self.committed);
+        for &slot in self.iq.age_order() {
+            let e = self.iq.get(slot).expect("slot in age order");
+            h = fnv1a(h, slot as u64);
+            h = fnv1a(h, e.seq.as_u64());
+            h = fnv1a(h, e.word);
+            h = fnv1a(h, e.pi as u64);
+        }
+        h
+    }
+
+    /// Clones this engine's pre-run state into a fresh engine carrying
+    /// `fault`. The receiver must not have stepped yet (it is the restored
+    /// base of a pruned window); the fork shares its borrowed
+    /// program/trace and starts from the identical machine state.
+    fn fork(
+        &self,
+        program: &'a Program,
+        trace: &'a ExecutionTrace,
+        fault: FaultSpec,
+    ) -> Engine<'a> {
+        let mut e = Engine::new(self.cfg, program, trace, Some(fault), DetectionModel::None);
+        e.frontend.restore_state(&self.frontend.snapshot_state());
+        e.iq = self.iq.clone();
+        e.hierarchy = self.hierarchy.clone();
+        e.reg_ready = self.reg_ready;
+        e.pred_ready = self.pred_ready;
+        e.committed = self.committed;
+        e.recovery = self.recovery;
+        e.miss_outstanding_until = self.miss_outstanding_until;
+        e.stall_until = self.stall_until;
+        e.squashes = self.squashes;
+        e.squashed_instrs = self.squashed_instrs;
+        e.detector = self.detector.clone();
+        e
+    }
+
+    /// The faulted cycle loop with convergence pruning: identical stepping
+    /// to [`Engine::run_core`], but at the top of every cycle after the
+    /// fault has fully landed it checks whether the detector has quiesced
+    /// ([`Detector::quiescent_verdict`]), the struck slot carries no
+    /// residual corruption or π, and the overlay fingerprint equals the
+    /// golden run's at the same cycle. The first cycle all four hold, the
+    /// verdict is decided and the tail is skipped.
+    fn run_pruned(mut self, start: Cycle, golden_fps: &[u64]) -> PrunedRun {
+        let mut now = start;
+        let total = self.trace.len() as u64;
+        while self.committed < total && !self.stop_early {
+            if now.as_u64() >= self.cfg.max_cycles {
+                break;
+            }
+            if let Some(f) = self.fault {
+                let spent = f.cycle == Cycle::new(u64::MAX);
+                let second_resolved = match f.second_cycle {
+                    None => true,
+                    Some(c2) => c2 == Cycle::new(u64::MAX) || c2 < now,
+                };
+                if spent && second_resolved {
+                    if let Some(verdict) = self.detector.quiescent_verdict() {
+                        // The fault overlay is confined to the struck slot;
+                        // once that slot is clean (struck entry gone, no
+                        // lingering π) the fingerprint is the only state
+                        // that could still differ.
+                        let slot_clean = self
+                            .iq
+                            .get(f.slot)
+                            .is_none_or(|e| !e.parity_mismatch() && !e.pi);
+                        let idx = now.as_u64() as usize;
+                        if slot_clean
+                            && idx < golden_fps.len()
+                            && self.overlay_fingerprint() == golden_fps[idx]
+                        {
+                            return PrunedRun {
+                                outcome: verdict,
+                                end_cycle: now.as_u64(),
+                                pruned: true,
+                            };
+                        }
+                    }
+                }
+            }
+            self.step_recovery(now);
+            self.step_retire(now);
+            self.step_issue(now);
+            self.step_insert(now);
+            self.step_fetch(now);
+            self.step_inject(now);
+            self.iq.tick_stats();
+            now = now.next();
+        }
+        // `drain_all` only logs residencies, which a pruned-window run
+        // never consumes; the detector alone decides the verdict.
+        let outcome = self
+            .detector
+            .finish()
+            .expect("a faulted run always resolves an outcome");
+        PrunedRun {
+            outcome,
+            end_cycle: now.as_u64(),
+            pruned: false,
+        }
     }
 
     /// Captures the engine's full state at the top of cycle `now`.

@@ -93,6 +93,7 @@ pub struct CampaignJob {
     spatial: Option<bool>,
     node: Option<TechNode>,
     env: Option<Environment>,
+    prune: bool,
     threads: usize,
     level: TelemetryLevel,
 }
@@ -338,7 +339,7 @@ impl JobSpec {
                     .as_ref()
                     .map_or_else(|| "-".to_string(), |d| d.to_string());
                 format!(
-                    "v1/campaign workload={} injections={} seed={} model={} latency={} recovery={} ecc={} pattern={} node={} env={} level={}",
+                    "v1/campaign workload={} injections={} seed={} model={} latency={} recovery={} ecc={} pattern={} node={} env={} prune={} level={}",
                     j.workload,
                     j.injections,
                     j.seed,
@@ -353,6 +354,7 @@ impl JobSpec {
                     },
                     j.node.map_or("-", TechNode::label),
                     j.env.map_or("-", Environment::label),
+                    j.prune,
                     j.level.label(),
                 )
             }
@@ -447,6 +449,7 @@ impl CampaignJob {
             .string("env")?
             .map(|s| Environment::parse(&s).map_err(JobError::bad))
             .transpose()?;
+        let prune = body.bool("prune")?.unwrap_or(false);
         let threads = parse_threads_field(body)?;
         let level = parse_level_field(body)?;
 
@@ -496,6 +499,7 @@ impl CampaignJob {
             spatial,
             node,
             env,
+            prune,
             threads,
             level,
         })
@@ -511,13 +515,14 @@ impl CampaignJob {
             .as_ref()
             .map_or_else(|| "-".to_string(), |d| d.to_string());
         format!(
-            "prep workload={} injections={} seed={} model={} latency={} recovery={}",
+            "prep workload={} injections={} seed={} model={} latency={} recovery={} prune={}",
             self.workload,
             config.injections,
             config.seed,
             self.model_label,
             latency,
             config.recovery.label(),
+            config.prune,
         )
     }
 
@@ -530,6 +535,7 @@ impl CampaignJob {
                 seed: self.seed,
                 detection: self.detection,
                 threads: self.threads,
+                prune: self.prune,
                 ..CampaignConfig::default()
             },
             CampaignFlavor::Recovery => CampaignConfig {
@@ -539,6 +545,7 @@ impl CampaignJob {
                 detect_latency: self.detect_latency.clone(),
                 recovery: self.recovery,
                 threads: self.threads,
+                prune: self.prune,
                 ..CampaignConfig::default()
             },
             // The ECC flavour runs through `run_ecc_campaign`, which takes
@@ -549,6 +556,7 @@ impl CampaignJob {
                 seed: self.seed,
                 detection: self.detection,
                 threads: self.threads,
+                prune: self.prune,
                 ..CampaignConfig::default()
             },
         }
@@ -883,9 +891,26 @@ mod tests {
         assert_eq!(
             job.canonical(),
             "v1/campaign workload=crafty injections=300 seed=2026 model=parity latency=- \
-             recovery=machine-check ecc=- pattern=- node=- env=- level=summary"
+             recovery=machine-check ecc=- pattern=- node=- env=- prune=false level=summary"
         );
         assert!(job.cacheable());
+    }
+
+    #[test]
+    fn prune_flag_changes_the_cache_key() {
+        let job = parse_job("campaign", r#"{"workload": "crafty", "prune": true}"#).unwrap();
+        assert_eq!(
+            job.canonical(),
+            "v1/campaign workload=crafty injections=300 seed=2026 model=parity latency=- \
+             recovery=machine-check ecc=- pattern=- node=- env=- prune=true level=summary"
+        );
+        let off = parse_job("campaign", r#"{"workload": "crafty"}"#).unwrap();
+        assert_ne!(job.canonical(), off.canonical());
+        // The prepared state differs too: pruning records fingerprints.
+        let (JobSpec::Campaign(on), JobSpec::Campaign(off)) = (&job, &off) else {
+            panic!("campaign jobs expected");
+        };
+        assert_ne!(on.prep_canonical(), off.prep_canonical());
     }
 
     #[test]
@@ -898,7 +923,8 @@ mod tests {
         assert_eq!(
             job.canonical(),
             "v1/campaign workload=crafty injections=500 seed=2026 model=parity \
-             latency=fixed:8 recovery=idempotent ecc=- pattern=- node=- env=- level=summary"
+             latency=fixed:8 recovery=idempotent ecc=- pattern=- node=- env=- prune=false \
+             level=summary"
         );
     }
 
@@ -908,7 +934,8 @@ mod tests {
         assert_eq!(
             job.canonical(),
             "v1/campaign workload=crafty injections=1000 seed=2026 model=none latency=- \
-             recovery=machine-check ecc=sec-ded pattern=- node=- env=- level=summary"
+             recovery=machine-check ecc=sec-ded pattern=- node=- env=- prune=false \
+             level=summary"
         );
     }
 

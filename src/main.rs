@@ -306,6 +306,7 @@ fn cmd_inject(name: &str, args: &[String], tel: &Telemetry) -> Result<(), String
         .ok_or_else(|| format!("unknown benchmark '{name}'"))?;
     let mut injections = 300u32;
     let mut detection = DetectionModel::Parity { tracking: None };
+    let mut prune = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -316,6 +317,7 @@ fn cmd_inject(name: &str, args: &[String], tel: &Telemetry) -> Result<(), String
                     .parse()
                     .map_err(|e| format!("bad count: {e}"))?;
             }
+            "--prune" => prune = true,
             "--model" => {
                 detection = match it.next().ok_or("--model needs a value")?.as_str() {
                     "none" => DetectionModel::None,
@@ -334,6 +336,7 @@ fn cmd_inject(name: &str, args: &[String], tel: &Telemetry) -> Result<(), String
         injections,
         seed: 2026,
         detection,
+        prune,
         ..CampaignConfig::default()
     };
     let iq_entries = config.pipeline.iq_entries;
@@ -387,10 +390,12 @@ fn cmd_campaign(name: &str, args: &[String], tel: &Telemetry) -> Result<(), Stri
     let mut env: Option<Environment> = None;
     let mut detect_latency: Option<LatencyDistribution> = None;
     let mut recovery = RecoveryPolicy::MachineCheck;
+    let mut prune = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--adaptive" => adaptive = true,
+            "--prune" => prune = true,
             "--detect-latency" => {
                 detect_latency = Some(
                     it.next()
@@ -483,6 +488,7 @@ fn cmd_campaign(name: &str, args: &[String], tel: &Telemetry) -> Result<(), Stri
             detection,
             detect_latency: detect_latency.clone(),
             recovery,
+            prune,
             ..CampaignConfig::default()
         };
         let iq_entries = config.pipeline.iq_entries;
@@ -529,6 +535,7 @@ fn cmd_campaign(name: &str, args: &[String], tel: &Telemetry) -> Result<(), Stri
     let config = CampaignConfig {
         seed,
         detection,
+        prune,
         ..CampaignConfig::default()
     };
     let campaign = Campaign::prepare(&spec, config).map_err(|e| e.to_string())?;
@@ -1231,9 +1238,9 @@ fn usage() -> &'static str {
        loadtest [options]          concurrent-client benchmark against the daemon\n\
      \n\
      machine flags: --squash l0|l1    --throttle l0|l1\n\
-     inject options: --injections N   --model none|parity|tracking\n\
+     inject options: --injections N   --model none|parity|tracking  --prune\n\
      campaign options: --adaptive  --target-halfwidth W  --model none|parity|tracking\n\
-                       --seed N  --injections CAP  --gate-vs-uniform\n\
+                       --seed N  --injections CAP  --gate-vs-uniform  --prune\n\
                        --pattern-model single|spatial  --ecc none|parity|sec|sec-ded|taec|dec\n\
                        --node 28nm|16nm|7nm  --env consumer|avionics|space\n\
                        --detect-latency fixed:N|geometric:M|table:LxW,...\n\

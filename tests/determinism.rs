@@ -397,6 +397,30 @@ fn latency_off_artifact_has_no_recovery_stanza() {
     assert!(!rendered.contains("\"recovered\""), "no recovered outcome key on legacy runs");
 }
 
+/// Guard for pre-pruning artifact compatibility: a campaign run without
+/// `--prune` must emit exactly the legacy bytes — no `pruning` stanza,
+/// no prune report on the detailed result.
+#[test]
+fn prune_off_artifact_has_no_pruning_stanza() {
+    use ses_core::telemetry::campaign_artifact;
+    use ses_core::{Campaign, CampaignConfig, DetectionModel, TelemetryLevel};
+    let spec = WorkloadSpec::quick("prune-off", 5);
+    let config = CampaignConfig {
+        injections: 80,
+        seed: 9,
+        detection: DetectionModel::Parity { tracking: None },
+        ..CampaignConfig::default()
+    };
+    let iq = config.pipeline.iq_entries;
+    let detailed = Campaign::prepare(&spec, config).unwrap().run_detailed();
+    assert!(detailed.prune().is_none(), "legacy runs must not grow a prune report");
+    let rendered =
+        campaign_artifact("prune-off", &detailed, iq, TelemetryLevel::Summary).render();
+    assert!(!rendered.contains("\"pruning\""), "no pruning stanza on legacy runs");
+    let full = campaign_artifact("prune-off", &detailed, iq, TelemetryLevel::Full).render();
+    assert!(!full.contains("\"pruning\""), "no pruning stanza at Full level either");
+}
+
 /// The single-bit adaptive artifact pre-dates the spatial-strike engine:
 /// with `pattern: None` its bytes must not change — no stanza, no label
 /// suffixes, nothing.
